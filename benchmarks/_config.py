@@ -1,0 +1,150 @@
+"""Shared configuration and helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's
+evaluation (see DESIGN.md section 4 for the experiment index).  The
+paper's testbed is 32 nodes x 8 cores; the default ``quick`` scale runs
+the same experiments on 8 nodes x 4 cores with proportionally scaled
+rates so that the whole suite finishes in minutes.  Set
+``REPRO_BENCH_SCALE=paper`` for the full-size cluster (much slower).
+
+Measured absolute numbers differ from the paper's (different hardware,
+simulated substrate); the *shapes* — who wins, by what factor, where
+crossovers fall — are what the assertions check and EXPERIMENTS.md
+records.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pathlib
+import typing
+
+from repro import MicroBenchmarkWorkload, Paradigm, StreamSystem, SystemConfig
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchScale:
+    """Cluster and workload scale for the suite."""
+
+    num_nodes: int
+    cores_per_node: int
+    source_instances: int
+    executors_per_operator: int
+    shards_per_executor: int
+    num_keys: int
+    skew: float
+    #: Offered load for the comparison benches, ~60-65% of worker cores
+    #: so a well-balanced system runs with headroom while an imbalanced
+    #: one saturates its hottest executor.
+    rate: float
+    #: Offered load above cluster capacity — used by the throughput
+    #: experiments, which measure maximum sustained admission.
+    saturation_rate: float
+    #: Offered load between the imbalanced paradigms' effective capacity
+    #: and Elasticutor's — used by the latency experiments: a paradigm
+    #: that keeps up shows queueing-level latency, one that cannot
+    #: accumulates backlog and its arrival-time latency explodes.
+    latency_rate: float
+    duration: float
+    warmup: float
+
+    @property
+    def worker_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node - self.source_instances
+
+
+QUICK = BenchScale(
+    num_nodes=8,
+    cores_per_node=4,
+    source_instances=4,
+    executors_per_operator=8,
+    shards_per_executor=32,
+    num_keys=10_000,
+    skew=0.8,
+    rate=17_000.0,
+    saturation_rate=36_000.0,
+    latency_rate=15_000.0,
+    duration=60.0,
+    warmup=25.0,
+)
+
+PAPER = BenchScale(
+    num_nodes=32,
+    cores_per_node=8,
+    source_instances=16,
+    executors_per_operator=32,
+    shards_per_executor=256,
+    num_keys=10_000,
+    skew=0.8,
+    rate=150_000.0,
+    saturation_rate=320_000.0,
+    latency_rate=135_000.0,
+    duration=120.0,
+    warmup=40.0,
+)
+
+SCALES = {"quick": QUICK, "paper": PAPER}
+CURRENT: BenchScale = SCALES[SCALE]
+
+
+def build_micro_system(
+    paradigm: Paradigm,
+    rate: typing.Optional[float] = None,
+    omega: float = 2.0,
+    scale: BenchScale = CURRENT,
+    seed: int = 42,
+    **workload_overrides: typing.Any,
+) -> typing.Tuple[StreamSystem, MicroBenchmarkWorkload]:
+    """A micro-benchmark system at the suite's scale."""
+    workload = MicroBenchmarkWorkload(
+        rate=rate if rate is not None else scale.rate,
+        num_keys=workload_overrides.pop("num_keys", scale.num_keys),
+        skew=workload_overrides.pop("skew", scale.skew),
+        omega=omega,
+        batch_size=workload_overrides.pop("batch_size", 20),
+        seed=seed,
+        **workload_overrides,
+    )
+    topology = workload.build_topology(
+        executors_per_operator=scale.executors_per_operator,
+        shards_per_executor=scale.shards_per_executor,
+    )
+    config = SystemConfig(
+        paradigm=paradigm,
+        num_nodes=scale.num_nodes,
+        cores_per_node=scale.cores_per_node,
+        source_instances=scale.source_instances,
+    )
+    return StreamSystem(topology, workload, config), workload
+
+
+def run_micro(
+    paradigm: Paradigm,
+    rate: typing.Optional[float] = None,
+    omega: float = 2.0,
+    scale: BenchScale = CURRENT,
+    seed: int = 42,
+    **workload_overrides: typing.Any,
+):
+    system, _ = build_micro_system(
+        paradigm, rate=rate, omega=omega, scale=scale, seed=seed,
+        **workload_overrides,
+    )
+    return system.run(duration=scale.duration, warmup=scale.warmup), system
+
+
+def emit(name: str, text: str, capsys=None) -> None:
+    """Print a result table through pytest's capture and persist it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if capsys is not None:
+        with capsys.disabled():
+            print()
+            print(text)
+    else:
+        print(text)

@@ -1,0 +1,111 @@
+"""Figures 10 and 11: scalability of a single elastic executor.
+
+One elastic executor, growing core counts (first cores local, then
+remote).  Paper results:
+
+- Fig 10: near-linear scaling for compute-bound configurations; the
+  executor cannot efficiently use more than ~2 nodes' worth of cores
+  when data intensity is high (tiny CPU cost or large tuples) because
+  remote data transfer saturates the main process's NIC.
+- Fig 11: p99 latency stays flat while scaling, except in data-intensive
+  configurations past the point where remote transfer becomes the
+  bottleneck — and even there backpressure bounds it.
+"""
+
+import pytest
+
+from repro.analysis import ResultTable, SingleExecutorHarness
+
+from _config import emit
+
+CORE_STEPS = (1, 2, 4, 8, 16, 32, 64)
+CPU_COSTS = (0.01e-3, 0.1e-3, 1e-3, 10e-3)  # seconds per tuple, 128 B tuples
+TUPLE_SIZES = (128, 2048, 8192)  # bytes, at 1 ms/tuple
+
+
+def run_sweeps():
+    throughput = {}
+    latency = {}
+    for cost in CPU_COSTS:
+        harness = SingleExecutorHarness(cost_per_tuple=cost, tuple_bytes=128)
+        for cores in CORE_STEPS:
+            saturated = harness.measure(cores, duration=8.0, warmup=4.0)
+            throughput[("cost", cost, cores)] = saturated
+            relaxed = harness.measure(
+                cores, duration=8.0, warmup=4.0,
+                offered_rate=0.55 * cores / cost,
+            )
+            latency[("cost", cost, cores)] = relaxed
+    for size in TUPLE_SIZES:
+        harness = SingleExecutorHarness(cost_per_tuple=1e-3, tuple_bytes=size)
+        for cores in CORE_STEPS:
+            saturated = harness.measure(cores, duration=8.0, warmup=4.0)
+            throughput[("size", size, cores)] = saturated
+            relaxed = harness.measure(
+                cores, duration=8.0, warmup=4.0,
+                offered_rate=0.55 * cores / 1e-3,
+            )
+            latency[("size", size, cores)] = relaxed
+    return throughput, latency
+
+
+@pytest.mark.benchmark(group="fig10_11")
+def test_fig10_11_executor_scalability(benchmark, capsys):
+    throughput, latency = benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+
+    tput_cost = ResultTable(
+        "Figure 10(a): single-executor throughput (tuples/s) vs cores, varying CPU cost",
+        ["cores"] + [f"{cost * 1e3:g} ms/tuple" for cost in CPU_COSTS],
+    )
+    tput_size = ResultTable(
+        "Figure 10(b): single-executor throughput (tuples/s) vs cores, varying tuple size",
+        ["cores"] + [f"{size} B" for size in TUPLE_SIZES],
+    )
+    lat_cost = ResultTable(
+        "Figure 11(a): p99 latency (ms) at 55% load vs cores, varying CPU cost",
+        ["cores"] + [f"{cost * 1e3:g} ms/tuple" for cost in CPU_COSTS],
+    )
+    lat_size = ResultTable(
+        "Figure 11(b): p99 latency (ms) at 55% load vs cores, varying tuple size",
+        ["cores"] + [f"{size} B" for size in TUPLE_SIZES],
+    )
+    for cores in CORE_STEPS:
+        tput_cost.add_row(
+            cores,
+            *(throughput[("cost", c, cores)]["throughput"] for c in CPU_COSTS),
+        )
+        tput_size.add_row(
+            cores,
+            *(throughput[("size", s, cores)]["throughput"] for s in TUPLE_SIZES),
+        )
+        lat_cost.add_row(
+            cores,
+            *(latency[("cost", c, cores)]["latency_p99"] * 1e3 for c in CPU_COSTS),
+        )
+        lat_size.add_row(
+            cores,
+            *(latency[("size", s, cores)]["latency_p99"] * 1e3 for s in TUPLE_SIZES),
+        )
+    emit(
+        "fig10_11_executor_scalability",
+        "\n\n".join(t.render() for t in (tput_cost, tput_size, lat_cost, lat_size)),
+        capsys,
+    )
+
+    # Compute-bound configurations keep scaling to 32 cores.
+    for cost in (1e-3, 10e-3):
+        t32 = throughput[("cost", cost, 32)]["throughput"]
+        t4 = throughput[("cost", cost, 4)]["throughput"]
+        assert t32 > 4 * t4, f"cost={cost}: no scaling beyond 4 cores"
+    # Data-intensive configurations stop scaling once remote transfer
+    # saturates the main process's NIC (paper: 8KB tuples or 0.01 ms CPU
+    # cost cap out around two nodes' worth of cores).
+    hungry64 = throughput[("size", 8192, 64)]["throughput"]
+    hungry16 = throughput[("size", 8192, 16)]["throughput"]
+    assert hungry64 < 1.6 * hungry16, "8KB tuples should not scale past the NIC"
+    cheap64 = throughput[("cost", 0.01e-3, 64)]["throughput"]
+    cheap8 = throughput[("cost", 0.01e-3, 8)]["throughput"]
+    assert cheap64 < 3.0 * cheap8, "0.01ms tuples should scale poorly remotely"
+    # Latency stays bounded while scaling in the compute-bound setting.
+    for cores in CORE_STEPS:
+        assert latency[("cost", 10e-3, cores)]["latency_p99"] < 1.0

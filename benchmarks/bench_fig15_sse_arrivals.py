@@ -1,0 +1,63 @@
+"""Figure 15: arrival rates of the 5 most popular stocks over time.
+
+Paper: the SSE order stream is highly dynamic — per-stock arrival rates
+fluctuate greatly and burst unpredictably.  This bench generates the
+synthetic order stream and prints the per-stock rate curves, then checks
+they exhibit the paper's qualitative properties (bursts, drift, distinct
+per-stock behaviour).
+"""
+
+import pytest
+
+from repro.analysis import ResultTable
+from repro.sim import Environment
+from repro.workloads import SSEWorkload
+
+from _config import emit
+
+TOP_STOCKS = 5
+DURATION = 100.0
+
+
+def generate():
+    workload = SSEWorkload(rate=20_000, num_stocks=500, batch_size=10, seed=7)
+    env = Environment()
+    for _ in workload.schedule(env, 0, 1, duration=DURATION):
+        pass
+    return workload
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_sse_arrival_rates(benchmark, capsys):
+    workload = benchmark.pedantic(generate, rounds=1, iterations=1)
+
+    stocks = list(range(TOP_STOCKS))
+    series = workload.arrival_series(stocks, window_ticks=50)  # 5 s windows
+    table = ResultTable(
+        "Figure 15: arrival rate (orders/s) of the 5 most popular stocks",
+        ["t (s)"] + [f"stock {s}" for s in stocks],
+    )
+    num_points = len(series[0])
+    for i in range(num_points):
+        table.add_row(
+            series[0][i][0], *(series[s][i][1] for s in stocks)
+        )
+    emit("fig15_sse_arrivals", table.render(), capsys)
+
+    # Each top stock's rate fluctuates substantially (bursts + drift).
+    for stock in stocks:
+        rates = [rate for _, rate in series[stock]]
+        assert max(rates) > 1.5 * max(1e-9, min(rates)), (
+            f"stock {stock} rate is flat: {min(rates):.0f}..{max(rates):.0f}"
+        )
+    # Popularity ordering holds on average (stock 0 is the hottest).
+    means = {
+        stock: sum(rate for _, rate in series[stock]) / num_points
+        for stock in stocks
+    }
+    assert means[0] > means[TOP_STOCKS - 1]
+    # Bursts make some stock transiently exceed twice its own mean.
+    assert any(
+        max(rate for _, rate in series[stock]) > 2.0 * means[stock]
+        for stock in stocks
+    )

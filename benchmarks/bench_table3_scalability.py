@@ -1,0 +1,64 @@
+"""Table 3: Elasticutor throughput and scheduling time vs cluster size.
+
+Paper: throughput grows nearly linearly with the number of nodes
+(8 -> 16 -> 32 nodes: 66.6k -> 121.3k -> 218.6k tuples/s) while the
+dynamic scheduler's decision time stays at a few milliseconds, growing
+only slightly with scale.  Scheduling time here is the real wall-clock
+cost of our model + Algorithm 1 implementation per round.
+"""
+
+import pytest
+
+from repro import Paradigm
+from repro.analysis import ResultTable
+
+from _sse import run_sse
+from _config import emit
+
+# (nodes, offered rate): offered scales with the cluster so each size is
+# driven to saturation.
+SIZES = ((4, 25_000.0), (8, 50_000.0), (16, 100_000.0))
+
+
+def run_sizes():
+    results = {}
+    for nodes, rate in SIZES:
+        result, system = run_sse(
+            Paradigm.ELASTICUTOR,
+            rate=rate,
+            num_nodes=nodes,
+            cores_per_node=6,
+            source_instances=max(2, nodes // 2),
+            duration=45.0,
+            warmup=20.0,
+        )
+        results[nodes] = result
+    return results
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_cluster_scalability(benchmark, capsys):
+    results = benchmark.pedantic(run_sizes, rounds=1, iterations=1)
+
+    table = ResultTable(
+        "Table 3: Elasticutor scalability (SSE workload)",
+        ["nodes", "throughput (tuples/s)", "scheduling time (ms/round)"],
+    )
+    for nodes, _ in SIZES:
+        result = results[nodes]
+        table.add_row(
+            nodes,
+            result.throughput_tps,
+            result.scheduler_mean_wall_seconds * 1e3,
+        )
+    emit("table3_scalability", table.render(), capsys)
+
+    # Near-linear throughput growth with cluster size.
+    t4 = results[4].throughput_tps
+    t8 = results[8].throughput_tps
+    t16 = results[16].throughput_tps
+    assert t8 > 1.6 * t4
+    assert t16 > 1.6 * t8
+    # Scheduling cost stays in the milliseconds and grows only mildly.
+    for nodes, _ in SIZES:
+        assert results[nodes].scheduler_mean_wall_seconds < 0.05

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The hybrid framework: rapid elasticity + coarse split/merge.
+
+The paper closes §4.2 with a proposal: use elastic executors for rapid
+(millisecond) elasticity, and *infrequently* perform operator-level key
+space repartitioning for long-term fixes — splitting an executor whose
+key subspace has outgrown what one executor can handle, or merging idle
+executors to free nodes.  This repo implements that proposal
+(``repro.executors.hybrid``); this example shows it rescuing an operator
+that was deployed with a single executor (improper partitioning) under a
+data-intensive stream.
+
+Usage::
+
+    python examples/hybrid_framework.py
+"""
+
+from repro import MicroBenchmarkWorkload, Paradigm, StreamSystem, SystemConfig
+
+
+def run(enable_hybrid: bool):
+    workload = MicroBenchmarkWorkload(
+        rate=30_000,
+        num_keys=10_000,
+        skew=0.8,
+        omega=2.0,
+        tuple_bytes=32 * 1024,  # data-intensive: remote tasks are expensive
+        seed=42,
+    )
+    # Improper deployment: ONE executor for the whole operator.
+    topology = workload.build_topology(
+        executors_per_operator=1, shards_per_executor=64
+    )
+    config = SystemConfig(
+        paradigm=Paradigm.ELASTICUTOR,
+        num_nodes=8,
+        cores_per_node=4,
+        source_instances=4,
+        enable_hybrid=enable_hybrid,
+        hybrid_interval=8.0,
+    )
+    system = StreamSystem(topology, workload, config)
+    result = system.run(duration=60.0, warmup=30.0)
+    return result, system
+
+
+def main() -> None:
+    print("one executor, 32 KB tuples, driven to saturation\n")
+
+    result, system = run(enable_hybrid=False)
+    print("--- rapid elasticity only ---")
+    print(f"throughput: {result.throughput_tps:,.0f} tuples/s "
+          f"(NIC-bound: one main process forwards everything)")
+
+    result, system = run(enable_hybrid=True)
+    controller = system.hybrid_controllers["calculator"]
+    executors = system.executors_by_operator["calculator"]
+    print("\n--- with the hybrid controller ---")
+    print(f"throughput: {result.throughput_tps:,.0f} tuples/s")
+    print(f"splits performed: {controller.splits}, "
+          f"executors now: {len(executors)}")
+    for executor in executors:
+        print(f"  {executor.name}: node {executor.local_node}, "
+              f"{executor.num_cores} cores")
+
+
+if __name__ == "__main__":
+    main()

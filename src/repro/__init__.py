@@ -1,0 +1,58 @@
+"""Elasticutor: rapid elasticity for realtime stateful stream processing.
+
+A full reproduction of Wang et al., SIGMOD 2019, on a deterministic
+discrete-event simulation substrate (see DESIGN.md for the system map and
+EXPERIMENTS.md for paper-vs-measured results).
+
+Public API highlights:
+
+- :class:`StreamSystem` / :class:`SystemConfig` / :class:`Paradigm` -- run a
+  topology under the static, resource-centric, Elasticutor or naive-EC
+  paradigm and measure throughput/latency.
+- :class:`TopologyBuilder` -- declare operator DAGs (the Storm-like API).
+- :class:`ElasticExecutor` -- the paper's elastic executor, usable directly
+  for single-executor experiments.
+- :class:`DynamicScheduler` -- the model-based core scheduler.
+- :class:`MicroBenchmarkWorkload` / :class:`SSEWorkload` -- the paper's two
+  workloads.
+"""
+
+from repro.executors import ElasticExecutor, RCOperatorManager, StaticExecutor
+from repro.executors.config import ExecutorConfig
+from repro.logic import (
+    OperatorLogic,
+    OrderBook,
+    StateAccess,
+    SyntheticLogic,
+    TransactorLogic,
+)
+from repro.runtime import Paradigm, StreamSystem, SystemConfig, SystemResult
+from repro.scheduler import DynamicScheduler, GreedyAllocator
+from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
+from repro.workloads import MicroBenchmarkWorkload, SSEWorkload, ZipfKeyDistribution
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynamicScheduler",
+    "ElasticExecutor",
+    "ExecutorConfig",
+    "GreedyAllocator",
+    "KeySpace",
+    "MicroBenchmarkWorkload",
+    "OperatorLogic",
+    "OrderBook",
+    "Paradigm",
+    "RCOperatorManager",
+    "SSEWorkload",
+    "StateAccess",
+    "StaticExecutor",
+    "StreamSystem",
+    "SyntheticLogic",
+    "SystemConfig",
+    "SystemResult",
+    "Topology",
+    "TopologyBuilder",
+    "TupleBatch",
+    "ZipfKeyDistribution",
+]

@@ -1,0 +1,13 @@
+"""Result analysis and experiment harness helpers.
+
+- :class:`ResultTable` — aligned text tables for benchmark output
+  (the rows/series each paper table and figure reports).
+- :class:`SingleExecutorHarness` — drives ONE elastic executor at a
+  controlled rate and scales it over CPU cores, the setup behind the
+  paper's Figures 10-12.
+"""
+
+from repro.analysis.tables import ResultTable
+from repro.analysis.single_executor import SingleExecutorHarness
+
+__all__ = ["ResultTable", "SingleExecutorHarness"]

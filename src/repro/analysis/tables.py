@@ -1,0 +1,55 @@
+"""Plain-text result tables."""
+
+from __future__ import annotations
+
+import typing
+
+
+class ResultTable:
+    """An aligned text table with a title, for benchmark reports."""
+
+    def __init__(self, title: str, columns: typing.Sequence[str]) -> None:
+        if not columns:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self._rows: typing.List[typing.List[str]] = []
+
+    def add_row(self, *values: typing.Any) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}"
+            )
+        self._rows.append([self._format(value) for value in values])
+
+    @staticmethod
+    def _format(value: typing.Any) -> str:
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 1000:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:.2f}"
+            return f"{value:.4g}"
+        return str(value)
+
+    def render(self) -> str:
+        widths = [len(name) for name in self.columns]
+        for row in self._rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(
+            name.ljust(widths[i]) for i, name in enumerate(self.columns)
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self._rows:
+            lines.append(
+                "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

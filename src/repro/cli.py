@@ -1,0 +1,181 @@
+"""Command-line interface.
+
+Run single experiments or paradigm comparisons without writing code::
+
+    python -m repro run --paradigm elasticutor --rate 17000 --duration 60
+    python -m repro compare --workload sse --rate 25000
+    python -m repro scale-out --cores 1 2 4 8 16
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.analysis import ResultTable, SingleExecutorHarness
+from repro.runtime import Paradigm, StreamSystem, SystemConfig
+from repro.workloads import MicroBenchmarkWorkload, SSEWorkload
+
+PARADIGM_NAMES = {p.value: p for p in Paradigm}
+PARADIGM_NAMES.update({"rc": Paradigm.RC, "naive": Paradigm.NAIVE_EC})
+
+
+def _build_workload(args: argparse.Namespace):
+    if args.workload == "micro":
+        workload = MicroBenchmarkWorkload(
+            rate=args.rate,
+            num_keys=args.keys,
+            skew=args.skew,
+            cost_per_tuple=args.cost_ms / 1000.0,
+            omega=args.omega,
+            seed=args.seed,
+        )
+    else:
+        workload = SSEWorkload(
+            rate=args.rate,
+            num_stocks=args.keys,
+            order_cost=args.cost_ms / 1000.0,
+            seed=args.seed,
+        )
+    topology = workload.build_topology(
+        executors_per_operator=args.executors,
+        shards_per_executor=args.shards,
+    )
+    return workload, topology
+
+
+def _build_config(args: argparse.Namespace, paradigm: Paradigm) -> SystemConfig:
+    return SystemConfig(
+        paradigm=paradigm,
+        num_nodes=args.nodes,
+        cores_per_node=args.cores_per_node,
+        source_instances=args.sources,
+        latency_target=args.latency_target_ms / 1000.0,
+        enable_hybrid=args.hybrid,
+    )
+
+
+def _run_once(args: argparse.Namespace, paradigm: Paradigm):
+    workload, topology = _build_workload(args)
+    system = StreamSystem(topology, workload, _build_config(args, paradigm))
+    result = system.run(duration=args.duration, warmup=args.warmup)
+    return result
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    paradigm = PARADIGM_NAMES[args.paradigm]
+    result = _run_once(args, paradigm)
+    print(result.summary())
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    table = ResultTable(
+        f"paradigm comparison — {args.workload} workload, "
+        f"{args.rate:,.0f} tuples/s offered",
+        ["paradigm", "throughput (t/s)", "mean latency (ms)", "p99 (ms)",
+         "migration (MB/s)", "remote (MB/s)"],
+    )
+    for paradigm in Paradigm:
+        result = _run_once(args, paradigm)
+        table.add_row(
+            paradigm.value,
+            result.throughput_tps,
+            result.latency["mean"] * 1e3,
+            result.latency["p99"] * 1e3,
+            result.migration_rate / 1e6,
+            result.remote_transfer_rate / 1e6,
+        )
+        print(f"... {paradigm.value} done", file=sys.stderr)
+    print(table.render())
+    return 0
+
+
+def cmd_scale_out(args: argparse.Namespace) -> int:
+    harness = SingleExecutorHarness(
+        cost_per_tuple=args.cost_ms / 1000.0,
+        tuple_bytes=args.tuple_bytes,
+        omega=args.omega,
+    )
+    table = ResultTable(
+        "single elastic executor scale-out",
+        ["cores", "throughput (t/s)", "efficiency", "p99 (ms)"],
+    )
+    for cores in args.cores:
+        measured = harness.measure(cores, duration=args.duration,
+                                   warmup=args.warmup)
+        table.add_row(
+            cores, measured["throughput"], measured["efficiency"],
+            measured["latency_p99"] * 1e3,
+        )
+    print(table.render())
+    return 0
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workload", choices=("micro", "sse"), default="micro")
+    parser.add_argument("--rate", type=float, default=17_000.0,
+                        help="offered tuples/second")
+    parser.add_argument("--keys", type=int, default=10_000,
+                        help="distinct keys (micro) or stocks (sse)")
+    parser.add_argument("--skew", type=float, default=0.8, help="zipf skew")
+    parser.add_argument("--cost-ms", type=float, default=1.0,
+                        help="CPU cost per tuple in ms")
+    parser.add_argument("--omega", type=float, default=2.0,
+                        help="key shuffles per minute")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--cores-per-node", type=int, default=4)
+    parser.add_argument("--sources", type=int, default=4)
+    parser.add_argument("--executors", type=int, default=8,
+                        help="executors per operator (y)")
+    parser.add_argument("--shards", type=int, default=32,
+                        help="shards per executor (z)")
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--warmup", type=float, default=20.0)
+    parser.add_argument("--latency-target-ms", type=float, default=50.0)
+    parser.add_argument("--hybrid", action="store_true",
+                        help="enable the hybrid split/merge controller")
+    parser.add_argument("--seed", type=int, default=42)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Elasticutor reproduction (SIGMOD 2019) — simulation runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one paradigm once")
+    run_parser.add_argument(
+        "--paradigm", choices=sorted(PARADIGM_NAMES), default="elasticutor"
+    )
+    _add_common(run_parser)
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser("compare", help="run all four paradigms")
+    _add_common(compare_parser)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    scale_parser = sub.add_parser(
+        "scale-out", help="scale one elastic executor over CPU cores"
+    )
+    scale_parser.add_argument("--cores", type=int, nargs="+",
+                              default=[1, 2, 4, 8, 16])
+    scale_parser.add_argument("--cost-ms", type=float, default=1.0)
+    scale_parser.add_argument("--tuple-bytes", type=int, default=128)
+    scale_parser.add_argument("--omega", type=float, default=0.0)
+    scale_parser.add_argument("--duration", type=float, default=10.0)
+    scale_parser.add_argument("--warmup", type=float, default=5.0)
+    scale_parser.set_defaults(func=cmd_scale_out)
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Cluster substrate: nodes, CPU core accounting, and the network fabric.
+
+Models the paper's testbed — 32 EC2 t2.2xlarge nodes with 8 cores each on
+1 Gbps Ethernet — as simulation objects.  CPU cores are an allocatable,
+counted resource (the scheduler assigns them to executors); the network is
+a set of per-node full-duplex FIFO links with bandwidth and base latency.
+"""
+
+from repro.cluster.cores import CoreAllocationError, CoreManager
+from repro.cluster.network import NetworkFabric, TransferPurpose
+from repro.cluster.node import Cluster, Node
+
+__all__ = [
+    "Cluster",
+    "CoreAllocationError",
+    "CoreManager",
+    "NetworkFabric",
+    "Node",
+    "TransferPurpose",
+]

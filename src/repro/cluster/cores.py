@@ -1,0 +1,85 @@
+"""CPU-core accounting for the scheduler.
+
+Cores are fungible within a node: the scheduler only decides *how many*
+cores each executor holds *on which node* (the assignment matrix X of the
+paper's Section 4.2); this ledger enforces per-node capacity.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.node import Node
+
+
+class CoreAllocationError(RuntimeError):
+    """Raised when an allocation or release would violate capacity."""
+
+
+class CoreManager:
+    """Tracks free cores per node and per-owner holdings."""
+
+    def __init__(self, nodes: typing.Sequence[Node]) -> None:
+        self._capacity = {node.node_id: node.num_cores for node in nodes}
+        self._free = dict(self._capacity)
+        # owner -> node_id -> held cores
+        self._held: typing.Dict[typing.Any, typing.Dict[int, int]] = {}
+
+    @property
+    def total_capacity(self) -> int:
+        return sum(self._capacity.values())
+
+    @property
+    def total_free(self) -> int:
+        return sum(self._free.values())
+
+    def capacity(self, node_id: int) -> int:
+        return self._capacity[node_id]
+
+    def free(self, node_id: int) -> int:
+        return self._free[node_id]
+
+    def holdings(self, owner: typing.Any) -> typing.Dict[int, int]:
+        """node_id -> cores held by ``owner`` (copy)."""
+        return dict(self._held.get(owner, {}))
+
+    def held_total(self, owner: typing.Any) -> int:
+        return sum(self._held.get(owner, {}).values())
+
+    def allocate(self, owner: typing.Any, node_id: int, count: int = 1) -> None:
+        """Grant ``count`` cores on ``node_id`` to ``owner``."""
+        if count < 1:
+            raise CoreAllocationError(f"allocation count must be >= 1, got {count}")
+        if node_id not in self._free:
+            raise CoreAllocationError(f"unknown node {node_id}")
+        if self._free[node_id] < count:
+            raise CoreAllocationError(
+                f"node {node_id} has {self._free[node_id]} free cores, need {count}"
+            )
+        self._free[node_id] -= count
+        node_holdings = self._held.setdefault(owner, {})
+        node_holdings[node_id] = node_holdings.get(node_id, 0) + count
+
+    def release(self, owner: typing.Any, node_id: int, count: int = 1) -> None:
+        """Return ``count`` of ``owner``'s cores on ``node_id``."""
+        node_holdings = self._held.get(owner, {})
+        if node_holdings.get(node_id, 0) < count:
+            raise CoreAllocationError(
+                f"{owner!r} holds {node_holdings.get(node_id, 0)} cores on node "
+                f"{node_id}, cannot release {count}"
+            )
+        node_holdings[node_id] -= count
+        if node_holdings[node_id] == 0:
+            del node_holdings[node_id]
+        self._free[node_id] += count
+
+    def release_all(self, owner: typing.Any) -> None:
+        for node_id, count in list(self._held.get(owner, {}).items()):
+            self.release(owner, node_id, count)
+
+    def free_by_node(self) -> typing.Dict[int, int]:
+        """node_id -> free cores (copy), for the assignment solver."""
+        return dict(self._free)
+
+    def nodes_with_free_cores(self) -> typing.List[int]:
+        return [node_id for node_id, free in self._free.items() if free > 0]

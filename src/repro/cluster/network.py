@@ -1,0 +1,119 @@
+"""Analytic FIFO network model.
+
+Each node has one egress link and one ingress link (full duplex, as on the
+paper's 1 Gbps Ethernet).  A transfer serializes FIFO on both endpoints'
+links and then pays a fixed propagation latency.  This one-event-per-transfer
+model captures bandwidth contention — the effect that limits single-executor
+scale-out in the paper's Figures 10–12 — without simulating packets.
+
+Transfers are tagged with a :class:`TransferPurpose` so the harness can
+account state-migration bytes and remote-task data bytes separately
+(Table 2 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+import typing
+
+from repro.metrics import ByteCounter
+from repro.sim import Environment, Event
+
+
+class TransferPurpose(enum.Enum):
+    """Why bytes crossed the network (for evaluation accounting)."""
+
+    STREAM = "stream"  # inter-operator tuple traffic
+    REMOTE_TASK = "remote_task"  # executor main process <-> remote task
+    STATE_MIGRATION = "state_migration"  # shard state movement
+    CONTROL = "control"  # protocol/control messages
+
+
+class _Link:
+    """A FIFO link: transfers queue back-to-back at fixed bandwidth."""
+
+    __slots__ = ("bandwidth", "busy_until")
+
+    def __init__(self, bandwidth: float) -> None:
+        self.bandwidth = bandwidth
+        self.busy_until = 0.0
+
+
+class NetworkFabric:
+    """All node-to-node links plus per-purpose byte accounting."""
+
+    #: CPU-side cost of handing a message between threads on the same node.
+    LOCAL_DELIVERY_LATENCY = 20e-6
+
+    def __init__(
+        self,
+        env: Environment,
+        num_nodes: int,
+        bandwidth_bytes_per_s: float = 1.25e8,
+        base_latency: float = 0.5e-3,
+    ) -> None:
+        if bandwidth_bytes_per_s <= 0:
+            raise ValueError("bandwidth must be positive")
+        if base_latency < 0:
+            raise ValueError("latency must be >= 0")
+        self.env = env
+        self.base_latency = base_latency
+        self._egress = [_Link(bandwidth_bytes_per_s) for _ in range(num_nodes)]
+        self._ingress = [_Link(bandwidth_bytes_per_s) for _ in range(num_nodes)]
+        self.bytes_by_purpose: typing.Dict[TransferPurpose, ByteCounter] = {
+            purpose: ByteCounter() for purpose in TransferPurpose
+        }
+
+    def transfer(
+        self,
+        src_node: int,
+        dst_node: int,
+        nbytes: float,
+        purpose: TransferPurpose = TransferPurpose.STREAM,
+    ) -> Event:
+        """Move ``nbytes`` from ``src_node`` to ``dst_node``.
+
+        Returns an event firing at delivery time.  Same-node transfers cost
+        only the local delivery latency and consume no link bandwidth.
+        """
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be >= 0, got {nbytes}")
+        event = Event(self.env)
+        if src_node == dst_node:
+            event._ok = True
+            event._value = None
+            self.env.schedule(event, self.LOCAL_DELIVERY_LATENCY)
+            return event
+        self.bytes_by_purpose[purpose].add(int(nbytes))
+        now = self.env.now
+        egress = self._egress[src_node]
+        ingress = self._ingress[dst_node]
+        # Cut-through reservation: the transfer occupies both NICs over the
+        # same interval, so an uncontended transfer pays bytes/bandwidth once
+        # while contention on either endpoint still delays it.
+        start = max(now, egress.busy_until, ingress.busy_until)
+        finish = start + nbytes / min(egress.bandwidth, ingress.bandwidth)
+        egress.busy_until = finish
+        ingress.busy_until = finish
+        event._ok = True
+        event._value = None
+        self.env.schedule(event, finish - now + self.base_latency)
+        return event
+
+    def transfer_duration_estimate(self, src_node: int, dst_node: int, nbytes: float) -> float:
+        """Uncontended duration estimate (for the scheduler's cost model)."""
+        if src_node == dst_node:
+            return self.LOCAL_DELIVERY_LATENCY
+        return nbytes / self._egress[src_node].bandwidth + self.base_latency
+
+    def utilization_snapshot(self) -> typing.Dict[str, float]:
+        """Busy horizons per link relative to now (diagnostics)."""
+        now = self.env.now
+        return {
+            "max_egress_backlog": max(
+                (link.busy_until - now for link in self._egress), default=0.0
+            ),
+            "max_ingress_backlog": max(
+                (link.busy_until - now for link in self._ingress), default=0.0
+            ),
+        }

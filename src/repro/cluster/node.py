@@ -1,0 +1,93 @@
+"""Physical nodes and the cluster aggregate."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Environment
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cores import CoreManager
+    from repro.cluster.network import NetworkFabric
+
+
+class Node:
+    """A physical machine: an id and a fixed number of CPU cores.
+
+    Mirrors one EC2 t2.2xlarge instance from the paper's testbed
+    (8 cores, 32 GB RAM — memory is not a bottleneck in any of the paper's
+    experiments, so only cores are modeled as a constrained resource).
+
+    ``speed_factor`` models heterogeneity/stragglers: a factor of 0.5
+    makes every core on the node take twice as long per tuple.  The
+    measurement-driven scheduler and balancer adapt to it with no special
+    handling — they only ever see measured rates.
+    """
+
+    __slots__ = ("node_id", "num_cores", "speed_factor")
+
+    def __init__(
+        self, node_id: int, num_cores: int = 8, speed_factor: float = 1.0
+    ) -> None:
+        if num_cores < 1:
+            raise ValueError(f"node needs at least one core, got {num_cores}")
+        if speed_factor <= 0:
+            raise ValueError(f"speed_factor must be positive, got {speed_factor}")
+        self.node_id = node_id
+        self.num_cores = num_cores
+        self.speed_factor = speed_factor
+
+    def __repr__(self) -> str:
+        return f"Node({self.node_id}, cores={self.num_cores})"
+
+
+class Cluster:
+    """A set of nodes plus shared core accounting and network fabric."""
+
+    def __init__(
+        self,
+        env: Environment,
+        num_nodes: int = 32,
+        cores_per_node: int = 8,
+        bandwidth_bps: float = 1e9,
+        network_latency: float = 0.5e-3,
+    ) -> None:
+        from repro.cluster.cores import CoreManager
+        from repro.cluster.network import NetworkFabric
+
+        if num_nodes < 1:
+            raise ValueError(f"cluster needs at least one node, got {num_nodes}")
+        self.env = env
+        self.nodes: typing.List[Node] = [
+            Node(i, cores_per_node) for i in range(num_nodes)
+        ]
+        self.cores = CoreManager(self.nodes)
+        self.network = NetworkFabric(
+            env,
+            num_nodes=num_nodes,
+            bandwidth_bytes_per_s=bandwidth_bps / 8.0,
+            base_latency=network_latency,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def total_cores(self) -> int:
+        return sum(node.num_cores for node in self.nodes)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def speed(self, node_id: int) -> float:
+        return self.nodes[node_id].speed_factor
+
+    def set_node_speed(self, node_id: int, speed_factor: float) -> None:
+        """Degrade or restore a node (straggler injection)."""
+        if speed_factor <= 0:
+            raise ValueError(f"speed_factor must be positive, got {speed_factor}")
+        self.nodes[node_id].speed_factor = speed_factor
+
+    def __repr__(self) -> str:
+        return f"Cluster(nodes={self.num_nodes}, cores={self.total_cores})"

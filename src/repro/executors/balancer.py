@@ -1,0 +1,166 @@
+"""The intra-executor load-balancing algorithm (paper §3.1).
+
+A greedy heuristic in the spirit of First-Fit-Decreasing: refine the
+shard-to-container assignment in rounds until the imbalance factor δ —
+the ratio of the maximum container workload to the average — drops below
+the threshold θ (paper default 1.2).  Each round considers reassignments
+of one shard from the most-loaded to the least-loaded container and picks
+the one that reduces δ the most; moving as few shards as possible keeps
+state-migration cost down.
+
+The same algorithm balances shards across *tasks* inside an elastic
+executor and across *executors* at the operator level in the RC baseline
+("for fair comparison, RC uses the same load balancing algorithm").
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Paper's default imbalance threshold: tolerate 20% above average.
+DEFAULT_THETA = 1.2
+
+
+@dataclasses.dataclass(frozen=True)
+class BalanceMove:
+    """One shard reassignment suggested by the balancer."""
+
+    shard_id: int
+    src: typing.Any
+    dst: typing.Any
+
+
+class ShardBalancer:
+    """Pure planning: no simulation state, fully deterministic."""
+
+    def __init__(self, theta: float = DEFAULT_THETA, max_moves: int = 10_000) -> None:
+        if theta < 1.0:
+            raise ValueError(f"theta must be >= 1.0, got {theta}")
+        if max_moves < 1:
+            raise ValueError(f"max_moves must be >= 1, got {max_moves}")
+        self.theta = theta
+        self.max_moves = max_moves
+
+    @staticmethod
+    def imbalance(container_loads: typing.Mapping[typing.Any, float]) -> float:
+        """δ = max container load / average container load (1.0 when idle)."""
+        if not container_loads:
+            return 1.0
+        total = sum(container_loads.values())
+        average = total / len(container_loads)
+        if average <= 0:  # idle, or denormal underflow
+            return 1.0
+        return max(container_loads.values()) / average
+
+    def plan(
+        self,
+        shard_loads: typing.Mapping[int, float],
+        assignment: typing.Mapping[int, typing.Any],
+        containers: typing.Sequence[typing.Any],
+    ) -> typing.List[BalanceMove]:
+        """Compute the move list that brings δ below θ.
+
+        ``shard_loads``: recent workload per shard (cost/second).
+        ``assignment``: current shard -> container.
+        ``containers``: all live containers (some may hold no shards yet —
+        e.g. a freshly added task).
+
+        Returns moves in execution order.  The plan is computed against a
+        copy of the loads, so callers may apply moves asynchronously.
+        """
+        if not containers:
+            return []
+        unknown = set(assignment.values()) - set(containers)
+        if unknown:
+            raise ValueError(f"assignment references unknown containers: {unknown}")
+        placement: typing.Dict[int, typing.Any] = dict(assignment)
+        loads: typing.Dict[typing.Any, float] = {c: 0.0 for c in containers}
+        shards_by_container: typing.Dict[typing.Any, set] = {c: set() for c in containers}
+        for shard_id, container in placement.items():
+            loads[container] += shard_loads.get(shard_id, 0.0)
+            shards_by_container[container].add(shard_id)
+
+        moves: typing.List[BalanceMove] = []
+        for _ in range(self.max_moves):
+            delta = self.imbalance(loads)
+            if delta <= self.theta:
+                break
+            move = self._best_move(shard_loads, loads, shards_by_container, delta)
+            if move is None:
+                break
+            moves.append(move)
+            load = shard_loads.get(move.shard_id, 0.0)
+            loads[move.src] -= load
+            loads[move.dst] += load
+            shards_by_container[move.src].discard(move.shard_id)
+            shards_by_container[move.dst].add(move.shard_id)
+            placement[move.shard_id] = move.dst
+        return moves
+
+    def _best_move(
+        self,
+        shard_loads: typing.Mapping[int, float],
+        loads: typing.Dict[typing.Any, float],
+        shards_by_container: typing.Dict[typing.Any, set],
+        current_delta: float,
+    ) -> typing.Optional[BalanceMove]:
+        """The single move from the most- to the least-loaded container
+        that reduces δ the most, or None if no move improves δ."""
+        total = sum(loads.values())
+        average = total / len(loads)
+        # Deterministic tie-breaking: stable order over insertion order.
+        most_loaded = max(loads, key=lambda c: loads[c])
+        least_loaded = min(loads, key=lambda c: loads[c])
+        if most_loaded is least_loaded:
+            return None
+        best_shard = None
+        best_delta = current_delta
+        src_load = loads[most_loaded]
+        dst_load = loads[least_loaded]
+        others_max = max(
+            (load for container, load in loads.items()
+             if container is not most_loaded and container is not least_loaded),
+            default=0.0,
+        )
+        for shard_id in sorted(shards_by_container[most_loaded]):
+            load = shard_loads.get(shard_id, 0.0)
+            if load <= 0:
+                continue
+            new_max = max(src_load - load, dst_load + load, others_max)
+            new_delta = new_max / average if average > 0 else 1.0
+            if new_delta < best_delta - 1e-12:
+                best_delta = new_delta
+                best_shard = shard_id
+        if best_shard is None:
+            return None
+        return BalanceMove(shard_id=best_shard, src=most_loaded, dst=least_loaded)
+
+    def spread_plan(
+        self,
+        shard_loads: typing.Mapping[int, float],
+        shard_ids: typing.Iterable[int],
+        containers: typing.Sequence[typing.Any],
+        initial_loads: typing.Optional[typing.Mapping[typing.Any, float]] = None,
+    ) -> typing.Dict[int, typing.Any]:
+        """Greedy longest-processing-time placement of ``shard_ids``.
+
+        Used for evacuations (a task being removed hands its shards to the
+        survivors) and for initial placement: heaviest shard first onto the
+        currently least-loaded container.  ``initial_loads`` seeds the
+        containers with their pre-existing workload.
+        """
+        loads = {c: 0.0 for c in containers}
+        if initial_loads:
+            for container, load in initial_loads.items():
+                if container in loads:
+                    loads[container] = load
+        placement: typing.Dict[int, typing.Any] = {}
+        ordered = sorted(
+            shard_ids, key=lambda s: (-shard_loads.get(s, 0.0), s)
+        )
+        for shard_id in ordered:
+            target = min(loads, key=lambda c: loads[c])
+            placement[shard_id] = target
+            loads[target] += shard_loads.get(shard_id, 0.0)
+        return placement

@@ -1,0 +1,68 @@
+"""Ordered, pipelined point-to-point delivery.
+
+A :class:`WindowedSender` moves items from one node into destination
+queues, overlapping up to ``window`` network transfers while preserving
+FIFO delivery order per destination — the simulation-level equivalent of
+a Netty connection with a bounded outstanding-message window.  The window
+is what couples backpressure across the network: when downstream queues
+stop draining, deliveries hold window slots and the sender blocks.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.network import NetworkFabric, TransferPurpose
+from repro.sim import Environment, Resource, Store
+
+
+class WindowedSender:
+    """Pipelined sends from a fixed source node.
+
+    FIFO guarantee: a single caller process that issues ``send`` calls in
+    order gets in-order delivery per (source, destination-node) pair — the
+    fabric's links are FIFO and destination-store put-waiters are FIFO.
+    Same-node sends bypass the network and block directly on the queue.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        src_node: int,
+        window: int = 32,
+    ) -> None:
+        self.env = env
+        self.fabric = fabric
+        self.src_node = src_node
+        self._window = Resource(env, capacity=window)
+
+    @property
+    def in_flight(self) -> int:
+        return self._window.in_use
+
+    def send(
+        self,
+        dst_node: int,
+        queue: Store,
+        item: typing.Any,
+        nbytes: float,
+        purpose: TransferPurpose,
+    ) -> typing.Generator:
+        """Deliver ``item`` into ``queue`` on ``dst_node``.
+
+        A generator: ``yield from`` it.  Returns once the send is admitted
+        (local: enqueued; remote: window slot acquired and transfer
+        started), so the caller can pipeline subsequent sends.
+        """
+        if dst_node == self.src_node:
+            yield queue.put(item)
+            return
+        yield self._window.request()
+        transfer = self.fabric.transfer(self.src_node, dst_node, nbytes, purpose)
+        self.env.process(self._deliver(transfer, queue, item))
+
+    def _deliver(self, transfer, queue: Store, item: typing.Any) -> typing.Generator:
+        yield transfer
+        yield queue.put(item)
+        self._window.release()

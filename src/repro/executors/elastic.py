@@ -1,0 +1,456 @@
+"""The elastic executor (paper §3).
+
+A lightweight, self-contained distributed subsystem owning one fixed key
+subspace.  It runs a main process on its *local node* hosting the receiver
+and emitter daemons and the routing table; for every allocated CPU core a
+task is created — on the local node or inside a remote process on another
+node.  Shards (hash mini-partitions of the key subspace) are dynamically
+balanced across tasks with the FFD heuristic, using the labeling-tuple
+protocol to reassign shards consistently and intra-process state sharing
+to make same-node reassignments free.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.network import TransferPurpose
+from repro.cluster.node import Cluster
+from repro.executors.balancer import ShardBalancer
+from repro.executors.channels import WindowedSender
+from repro.executors.config import ExecutorConfig
+from repro.executors.routing import RoutingTable
+from repro.executors.stats import ExecutorMetrics, ReassignmentRecord, ReassignmentStats
+from repro.executors.task import STOP, Task
+from repro.logic.base import OperatorLogic, StateAccess
+from repro.sim import Environment, Resource, Store
+from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
+from repro.topology.batch import LabelTuple, TupleBatch
+from repro.topology.keys import shard_of_key
+from repro.topology.operator import OperatorSpec
+
+
+class ElasticExecutor:
+    """One elastic executor of an operator."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        spec: OperatorSpec,
+        index: int,
+        local_node: int,
+        logic: typing.Optional[OperatorLogic] = None,
+        config: typing.Optional[ExecutorConfig] = None,
+        reassignment_stats: typing.Optional[ReassignmentStats] = None,
+        migration_clock: typing.Optional[MigrationClock] = None,
+        external_state: typing.Optional[typing.Any] = None,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec = spec
+        self.index = index
+        self.name = f"{spec.name}[{index}]"
+        self.local_node = local_node
+        self.logic = logic if logic is not None else spec.logic
+        self.config = config or ExecutorConfig()
+        self.reassignment_stats = reassignment_stats or ReassignmentStats()
+        self.migration_clock = migration_clock or MigrationClock()
+        self.num_shards = spec.shards_per_executor
+
+        #: Optional :class:`repro.state.external.ExternalStateService` —
+        #: when set, shard state lives in the external store (every batch
+        #: pays an access round trip; reassignment migrates nothing).
+        self.external_state = external_state
+        self.input_queue = Store(env, capacity=self.config.input_queue_capacity)
+        self._emitter_queue = Store(env, capacity=self.config.emitter_queue_capacity)
+        self.routing = RoutingTable(self.num_shards)
+        self.metrics = ExecutorMetrics()
+        self.tasks: typing.Dict[int, Task] = {}
+        self._next_task_id = 0
+        #: One state store per process: local node plus each remote node.
+        self.stores: typing.Dict[int, ProcessStateStore] = {
+            local_node: ProcessStateStore(self.name, local_node)
+        }
+        for shard_id in range(self.num_shards):
+            shard = ShardState(shard_id, nominal_bytes=spec.shard_state_bytes)
+            if self.external_state is not None:
+                self.external_state.register_shard(self.name, shard)
+            else:
+                self.stores[local_node].add(shard)
+        #: Senders: the main process's (receiver + emitter share the node's
+        #: connections but have independent windows) and one per remote node.
+        self._receiver_sender = WindowedSender(
+            env, cluster.network, local_node, window=self.config.send_window
+        )
+        self._emitter_sender = WindowedSender(
+            env, cluster.network, local_node, window=self.config.send_window
+        )
+        self._remote_senders: typing.Dict[int, WindowedSender] = {}
+        #: Serializes membership changes and balancing rounds.
+        self._control = Resource(env)
+        self._balancer = ShardBalancer(theta=self.config.theta)
+        self._shard_cost_accum = [0.0] * self.num_shards
+        self._shard_load = [0.0] * self.num_shards
+        self._downstream_groups: typing.List[typing.Any] = []
+        self._sink_recorder: typing.Optional[typing.Callable] = None
+        self._started = False
+        self._enable_balancer = True
+        #: Set by the hybrid controller: operator-level in-flight counter
+        #: decremented as this executor completes batches.
+        self.operator_in_flight: typing.Optional[typing.Any] = None
+
+    # -- wiring -----------------------------------------------------------
+
+    def connect(
+        self,
+        downstream_groups: typing.Sequence[typing.Any],
+        sink_recorder: typing.Optional[typing.Callable] = None,
+    ) -> None:
+        """Attach downstream delivery targets (or a sink recorder)."""
+        self._downstream_groups = list(downstream_groups)
+        self._sink_recorder = sink_recorder
+
+    @property
+    def is_sink(self) -> bool:
+        return not self._downstream_groups
+
+    @property
+    def node_id(self) -> int:
+        """The main process's node (upstream-synchronization address)."""
+        return self.local_node
+
+    @property
+    def num_cores(self) -> int:
+        return len(self.tasks)
+
+    def cores_by_node(self) -> typing.Dict[int, int]:
+        """node -> task count (the executor's column x_j of the matrix X)."""
+        counts: typing.Dict[int, int] = {}
+        for task in self.tasks.values():
+            counts[task.node_id] = counts.get(task.node_id, 0) + 1
+        return counts
+
+    def state_bytes(self) -> int:
+        """Aggregate state size s_j (zero with an external store —
+        nothing migrates on core reassignment)."""
+        if self.external_state is not None:
+            return 0
+        return sum(store.total_bytes() for store in self.stores.values())
+
+    def is_congested(self) -> bool:
+        """True when backpressure is throttling admission.
+
+        A congested executor's measured arrival rate understates demand
+        (arrivals are capped by its own capacity), so the scheduler treats
+        congestion as a signal to provision beyond the measured λ.
+        """
+        return (
+            self.input_queue.pending_puts > 0
+            or len(self.input_queue) >= self.config.input_queue_capacity
+        )
+
+    def start(self, initial_cores: int = 1) -> None:
+        """Create the first task(s) on the local node and spawn daemons."""
+        if self._started:
+            raise RuntimeError(f"{self.name} already started")
+        if initial_cores < 1:
+            raise ValueError("an executor needs at least one core")
+        self._started = True
+        for _ in range(initial_cores):
+            self._create_task(self.local_node)
+        # Initial placement: shards spread round-robin over initial tasks.
+        tasks = list(self.tasks.values())
+        for shard_id in range(self.num_shards):
+            self.routing.assign(shard_id, tasks[shard_id % len(tasks)])
+        self.env.process(self._receiver_loop())
+        self.env.process(self._emitter_loop())
+        if self._enable_balancer:
+            self.env.process(self._balance_loop())
+
+    # -- data plane -------------------------------------------------------
+
+    def _receiver_loop(self) -> typing.Generator:
+        """Single entrance for all tuples from upstream operators."""
+        while True:
+            batch = yield self.input_queue.get()
+            now = self.env.now
+            if batch.trace is not None:
+                batch.trace["received"] = now
+            self.metrics.on_arrival(now, batch.count, batch.total_bytes)
+            shard_id = shard_of_key(batch.key, self.num_shards)
+            entry = self.routing.entry(shard_id)
+            if entry.paused:
+                entry.buffer.append(batch)
+                continue
+            yield from self._forward(batch, entry.task)
+
+    def _forward(
+        self, item: typing.Any, task: Task, nbytes: typing.Optional[float] = None
+    ) -> typing.Generator:
+        """Route an item to a task, over the network for remote tasks."""
+        if task.node_id == self.local_node:
+            yield task.queue.put(item)
+            return
+        if nbytes is None:
+            nbytes = item.total_bytes if isinstance(item, TupleBatch) else self.config.control_bytes
+        yield from self._receiver_sender.send(
+            task.node_id, task.queue, item, nbytes, TransferPurpose.REMOTE_TASK
+        )
+
+    def process_batch(self, task: Task, batch: TupleBatch) -> typing.Generator:
+        """Execute one batch on ``task``'s core (called from Task loop)."""
+        if batch.trace is not None:
+            batch.trace["task_start"] = self.env.now
+        cost = self.logic.cpu_seconds(batch) if self.logic else 0.0
+        # Wall time on this core; slow nodes (stragglers) take longer,
+        # and everything downstream — shard loads, µ, the scheduler —
+        # sees the measured reality, not the nominal cost.
+        cost = cost / self.cluster.speed(task.node_id)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        shard_id = shard_of_key(batch.key, self.num_shards)
+        self._shard_cost_accum[shard_id] += cost
+        emissions = []
+        if self.logic is not None:
+            if self.external_state is not None:
+                shard = yield from self.external_state.access(
+                    self.name, shard_id, task.node_id
+                )
+            else:
+                shard = self.stores[task.node_id].get(shard_id)
+            emissions = self.logic.process(batch, StateAccess(shard))
+        now = self.env.now
+        self.metrics.on_processed(now, batch.count, cost)
+        reference = batch.admitted_at if batch.admitted_at is not None else batch.created_at
+        self.metrics.queue_latency.record(max(0.0, now - reference))
+        if self.operator_in_flight is not None:
+            self.operator_in_flight.decrement()
+        if batch.trace is not None:
+            batch.trace["done"] = now
+        if self.is_sink:
+            if self._sink_recorder is not None:
+                self._sink_recorder(batch, now)
+            return
+        for emission in emissions:
+            out = TupleBatch(
+                key=emission.key,
+                count=emission.count,
+                cpu_cost=0.0,
+                size_bytes=emission.size_bytes,
+                created_at=batch.created_at,
+                payload=emission.payload,
+                admitted_at=batch.admitted_at,
+                trace=batch.trace,
+            )
+            self.metrics.on_emit(now, out.total_bytes)
+            if task.node_id == self.local_node:
+                yield self._emitter_queue.put(out)
+            else:
+                sender = self._remote_senders[task.node_id]
+                yield from sender.send(
+                    self.local_node,
+                    self._emitter_queue,
+                    out,
+                    out.total_bytes,
+                    TransferPurpose.REMOTE_TASK,
+                )
+
+    def _emitter_loop(self) -> typing.Generator:
+        """Single exit: forwards outputs to all downstream operators."""
+        while True:
+            batch = yield self._emitter_queue.get()
+            for group in self._downstream_groups:
+                yield from group.submit(batch, self.local_node, self._emitter_sender)
+
+    # -- elasticity: core membership --------------------------------------
+
+    def _create_task(self, node_id: int) -> Task:
+        task = Task(
+            self.env,
+            self._next_task_id,
+            node_id,
+            owner=self,
+            queue_capacity=self.config.task_queue_capacity,
+        )
+        self._next_task_id += 1
+        self.tasks[task.task_id] = task
+        self.routing.register_task(task)
+        return task
+
+    def add_core(self, node_id: int) -> typing.Generator:
+        """Grow by one task on ``node_id`` and rebalance shards onto it.
+
+        Simulation process body.  Core accounting is the scheduler's job.
+        """
+        yield self._control.request()
+        try:
+            if node_id != self.local_node and node_id not in self.stores:
+                self.stores[node_id] = ProcessStateStore(self.name, node_id)
+                self._remote_senders[node_id] = WindowedSender(
+                    self.env, self.cluster.network, node_id,
+                    window=self.config.send_window,
+                )
+                if self.config.remote_process_spawn_seconds > 0:
+                    yield self.env.timeout(self.config.remote_process_spawn_seconds)
+            self._create_task(node_id)
+            yield from self._rebalance_locked()
+        finally:
+            self._control.release()
+
+    def remove_core(self, node_id: int) -> typing.Generator:
+        """Shrink by one task on ``node_id``, evacuating its shards first."""
+        yield self._control.request()
+        try:
+            candidates = [t for t in self.tasks.values() if t.node_id == node_id]
+            if not candidates:
+                raise ValueError(f"{self.name} has no task on node {node_id}")
+            if len(self.tasks) == 1:
+                raise ValueError(f"{self.name} cannot drop its last core")
+            victim = min(candidates, key=lambda t: self._task_load(t))
+            survivors = [t for t in self.tasks.values() if t is not victim]
+            shard_loads = {i: self._shard_load[i] for i in range(self.num_shards)}
+            placement = self._balancer.spread_plan(
+                shard_loads,
+                self.routing.shards_of(victim),
+                survivors,
+                initial_loads={t: self._task_load(t) for t in survivors},
+            )
+            for shard_id, dst_task in sorted(placement.items()):
+                yield from self._reassign(shard_id, dst_task)
+            yield from self._forward(STOP, victim)
+            yield victim.process
+            del self.tasks[victim.task_id]
+            self.routing.unregister_task(victim)
+        finally:
+            self._control.release()
+
+    # -- elasticity: intra-executor load balancing ------------------------
+
+    def _task_load(self, task: Task) -> float:
+        return sum(self._shard_load[s] for s in self.routing.shards_of(task))
+
+    def _snapshot_loads(self) -> typing.Dict[int, float]:
+        """Blend the accumulated per-shard cost into smoothed loads."""
+        alpha = self.config.load_smoothing
+        interval = max(self.config.balance_interval, 1e-9)
+        for shard_id in range(self.num_shards):
+            observed = self._shard_cost_accum[shard_id] / interval
+            self._shard_load[shard_id] = (
+                alpha * observed + (1 - alpha) * self._shard_load[shard_id]
+            )
+            self._shard_cost_accum[shard_id] = 0.0
+        return {i: self._shard_load[i] for i in range(self.num_shards)}
+
+    def imbalance(self) -> float:
+        """Current δ across tasks."""
+        loads = {task: self._task_load(task) for task in self.tasks.values()}
+        return ShardBalancer.imbalance(loads)
+
+    def _balance_loop(self) -> typing.Generator:
+        while True:
+            yield self.env.timeout(self.config.balance_interval)
+            yield self._control.request()
+            try:
+                self._snapshot_loads()
+                trigger = self.config.theta * self.config.balance_trigger_margin
+                if self.imbalance() > trigger:
+                    yield from self._rebalance_locked()
+            finally:
+                self._control.release()
+
+    def _rebalance_locked(self) -> typing.Generator:
+        """Plan and execute shard moves.  Caller must hold the control lock."""
+        shard_loads = {i: self._shard_load[i] for i in range(self.num_shards)}
+        if sum(shard_loads.values()) <= 0:
+            # No load statistics yet (fresh start / new tasks before any
+            # traffic): spread by shard count so every core has work the
+            # moment tuples arrive.
+            yield from self._spread_by_count()
+            return
+        moves = self._balancer.plan(
+            shard_loads, self.routing.assignment(), list(self.tasks.values())
+        )
+        for move in moves:
+            yield from self._reassign(move.shard_id, move.dst)
+
+    def _spread_by_count(self) -> typing.Generator:
+        tasks = list(self.tasks.values())
+        quota = -(-self.num_shards // len(tasks))  # ceil division
+        deficits = [
+            task for task in tasks
+            if len(self.routing.shards_of(task)) < quota
+        ]
+        for task in tasks:
+            surplus = sorted(self.routing.shards_of(task))[quota:]
+            for shard_id in surplus:
+                while deficits and len(
+                    self.routing.shards_of(deficits[0])
+                ) >= quota:
+                    deficits.pop(0)
+                if not deficits:
+                    return
+                yield from self._reassign(shard_id, deficits[0])
+
+    # -- consistent shard reassignment (paper §3.3) ------------------------
+
+    def _reassign(self, shard_id: int, dst_task: Task) -> typing.Generator:
+        entry = self.routing.entry(shard_id)
+        src_task = entry.task
+        if src_task is dst_task or src_task is None:
+            if src_task is None:
+                self.routing.assign(shard_id, dst_task)
+            return
+        started = self.env.now
+        if self.config.reassignment_overhead > 0:
+            yield self.env.timeout(self.config.reassignment_overhead)
+        # 1. Pause routing for the shard; new arrivals buffer in the entry.
+        entry.paused = True
+        # 2. Drain: a labeling tuple chases all pending tuples of the shard.
+        label_event = self.env.event()
+        yield from self._forward(LabelTuple(shard_id, label_event), src_task)
+        yield label_event
+        sync_done = self.env.now
+        # 3. Migrate state only across processes (intra-process sharing).
+        # With an external state store nothing ever moves — that design's
+        # whole appeal (its cost lives in every state access instead).
+        migrated_bytes = 0
+        inter_node = src_task.node_id != dst_task.node_id
+        if self.external_state is not None:
+            pass
+        elif inter_node:
+            src_store = self.stores[src_task.node_id]
+            dst_store = self.stores[dst_task.node_id]
+            migrated_bytes = src_store.get(shard_id).nominal_bytes
+            yield from migrate_shard(
+                self.env, self.cluster.network, src_store, dst_store,
+                shard_id, self.migration_clock,
+            )
+        elif self.config.disable_state_sharing:
+            # Ablation: without intra-process state sharing, a same-node
+            # move still serializes + copies the shard state.
+            state_bytes = self.stores[src_task.node_id].get(shard_id).nominal_bytes
+            migrated_bytes = state_bytes
+            copy_delay = 2 * self.migration_clock.serialization_delay(state_bytes)
+            if copy_delay > 0:
+                yield self.env.timeout(copy_delay)
+        migration_done = self.env.now
+        # 4. Update the routing table, flush buffered tuples, resume.
+        self.routing.assign(shard_id, dst_task)
+        while entry.buffer:
+            item = entry.buffer.popleft()
+            yield from self._forward(item, dst_task)
+        entry.paused = False
+        self.reassignment_stats.record(
+            ReassignmentRecord(
+                time=started,
+                shard_id=shard_id,
+                inter_node=inter_node,
+                sync_seconds=sync_done - started,
+                migration_seconds=migration_done - sync_done,
+                migrated_bytes=migrated_bytes,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"ElasticExecutor({self.name}, cores={self.num_cores})"

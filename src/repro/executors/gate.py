@@ -1,0 +1,44 @@
+"""Operator-level emission gate for the RC baseline.
+
+The resource-centric repartitioning protocol must "pause all the upstream
+executors sending tuples downstream" (paper §1).  The gate is the shared
+object emitters consult before sending to an operator: while closed, sends
+block until the repartitioning finishes and the gate reopens.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Environment, Event
+
+
+class OperatorGate:
+    """A reusable open/closed barrier over virtual time."""
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._open_event: typing.Optional[Event] = None  # None = open
+
+    @property
+    def closed(self) -> bool:
+        return self._open_event is not None
+
+    def close(self) -> None:
+        """Block future sends.  Idempotent."""
+        if self._open_event is None:
+            self._open_event = self.env.event()
+
+    def open(self) -> None:
+        """Release all blocked senders.  Idempotent."""
+        if self._open_event is not None:
+            event, self._open_event = self._open_event, None
+            event.succeed()
+
+    def wait_open(self) -> Event:
+        """An event that fires when the gate is (or becomes) open."""
+        if self._open_event is not None:
+            return self._open_event
+        passthrough = self.env.event()
+        passthrough.succeed()
+        return passthrough

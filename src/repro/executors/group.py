@@ -1,0 +1,169 @@
+"""Operator-level delivery targets and source instances.
+
+A *group* represents one downstream operator to its upstream emitters: it
+resolves a tuple's key to the executor owning it and delivers the batch
+into that executor's input queue (over the network when the upstream
+emitter and the downstream executor live on different nodes).
+
+- :class:`ElasticGroup` / :class:`StaticGroup`: static tier-1 hash
+  partition (key -> executor), fixed for the topology's lifetime.
+- :class:`RCGroup`: the resource-centric operator — routing consults the
+  dynamic operator-level shard map and the repartitioning gate, and tracks
+  in-flight tuples so the manager can drain the operator.
+- :class:`SourceInstance`: an upstream executor instance of a source
+  operator, driven by a workload schedule.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.network import NetworkFabric, TransferPurpose
+from repro.executors.channels import WindowedSender
+from repro.executors.config import ExecutorConfig
+from repro.sim import Environment
+from repro.topology.batch import TupleBatch
+from repro.topology.keys import executor_of_key, shard_of_key
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.executors.elastic import ElasticExecutor
+    from repro.executors.rc import RCOperatorManager
+
+
+class ElasticGroup:
+    """Static key partition over elastic (or static) executors.
+
+    With a :class:`repro.executors.subspace.SubspaceRouter` attached,
+    tier-1 routing goes through the (rarely updated) slot table instead
+    of the bare hash, and the optional ``gate``/``in_flight`` hooks give
+    the hybrid controller the global-synchronization machinery it needs
+    for executor split/merge.  All three hooks default to off and cost
+    nothing on the fast path.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        executors: typing.Sequence["ElasticExecutor"],
+        router: typing.Optional[typing.Any] = None,
+    ) -> None:
+        if not executors:
+            raise ValueError(f"group {name!r} needs at least one executor")
+        self.name = name
+        self.executors = list(executors)
+        self.router = router
+        self.gate: typing.Optional[typing.Any] = None
+        self.in_flight: typing.Optional[typing.Any] = None
+
+    def route(self, key: int) -> "ElasticExecutor":
+        if self.router is not None:
+            return self.router.route(key)
+        return self.executors[executor_of_key(key, len(self.executors))]
+
+    def submit(
+        self, batch: TupleBatch, src_node: int, sender: WindowedSender
+    ) -> typing.Generator:
+        """Deliver ``batch`` into the owning executor's input queue."""
+        if self.gate is not None:
+            while self.gate.closed:
+                yield self.gate.wait_open()
+        executor = self.route(batch.key)
+        if self.in_flight is not None:
+            self.in_flight.increment()
+        yield from sender.send(
+            executor.local_node,
+            executor.input_queue,
+            batch,
+            batch.total_bytes,
+            TransferPurpose.STREAM,
+        )
+
+
+#: The static paradigm routes identically; only executor behaviour differs.
+StaticGroup = ElasticGroup
+
+
+class RCGroup:
+    """Dynamic operator-level shard routing for the RC baseline."""
+
+    def __init__(self, name: str, manager: "RCOperatorManager") -> None:
+        self.name = name
+        self.manager = manager
+
+    def submit(
+        self, batch: TupleBatch, src_node: int, sender: WindowedSender
+    ) -> typing.Generator:
+        # Respect the repartitioning pause: upstream executors block here
+        # while the operator's key space is being repartitioned.
+        gate = self.manager.gate
+        while gate.closed:
+            yield gate.wait_open()
+        shard_id = shard_of_key(batch.key, self.manager.total_shards)
+        executor = self.manager.executor_for_shard(shard_id)
+        self.manager.record_arrival(executor, batch)
+        self.manager.in_flight.increment()
+        yield from sender.send(
+            executor.node_id,
+            executor.input_queue,
+            batch,
+            batch.total_bytes,
+            TransferPurpose.STREAM,
+        )
+
+
+class SourceInstance:
+    """An executor instance of a source operator.
+
+    Emits workload batches according to a schedule of (emit_time, batch)
+    pairs.  Under backpressure the instance falls behind its schedule; the
+    batches keep their nominal creation times, so queueing delay inflates
+    the measured end-to-end latency exactly as an external arrival process
+    would.
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        fabric: NetworkFabric,
+        name: str,
+        index: int,
+        node_id: int,
+        config: typing.Optional[ExecutorConfig] = None,
+        trace_every: int = 0,
+    ) -> None:
+        config = config or ExecutorConfig()
+        self.env = env
+        self.name = f"{name}[{index}]"
+        self.index = index
+        self.node_id = node_id
+        self.sender = WindowedSender(env, fabric, node_id, window=config.send_window)
+        self._groups: typing.List[typing.Any] = []
+        self.emitted_tuples = 0
+        #: Attach a latency-breakdown trace to every Nth batch (0 = off).
+        self.trace_every = trace_every
+        self._emitted_batches = 0
+
+    def connect(self, downstream_groups: typing.Sequence[typing.Any]) -> None:
+        self._groups = list(downstream_groups)
+
+    def start(self, schedule: typing.Iterator) -> None:
+        """Begin emitting; ``schedule`` yields (emit_time, TupleBatch)."""
+        self.env.process(self._run(schedule))
+
+    def _run(self, schedule: typing.Iterator) -> typing.Generator:
+        for emit_time, batch in schedule:
+            if emit_time > self.env.now:
+                yield self.env.timeout(emit_time - self.env.now)
+            batch.admitted_at = self.env.now
+            self._emitted_batches += 1
+            if self.trace_every and self._emitted_batches % self.trace_every == 0:
+                batch.trace = {
+                    "created": batch.created_at,
+                    "admitted": batch.admitted_at,
+                }
+            for group in self._groups:
+                yield from group.submit(batch, self.node_id, self.sender)
+            self.emitted_tuples += batch.count
+
+    def __repr__(self) -> str:
+        return f"SourceInstance({self.name}, node={self.node_id})"

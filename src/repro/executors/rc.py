@@ -1,0 +1,494 @@
+"""The resource-centric (RC) baseline (paper §2.2, evaluated throughout §5).
+
+Executors are single-core, as in the static paradigm, but the operator's
+key space is repartitioned dynamically: shards move between executors to
+balance load, and executors are created/deleted to scale the operator.
+Every repartitioning requires global synchronization — pause all upstream
+executors, drain in-flight tuples, migrate state, update all upstream
+routing tables — which is exactly the cost Elasticutor eliminates.
+
+For fair comparison (as in the paper) RC reuses the same FFD balancer,
+the same performance model (injected by the runtime) and intra-process
+state sharing: executors of the same operator on one node share a state
+store, so intra-node shard moves migrate nothing.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.network import TransferPurpose
+from repro.cluster.node import Cluster
+from repro.executors.balancer import ShardBalancer
+from repro.executors.channels import WindowedSender
+from repro.executors.config import ExecutorConfig
+from repro.executors.gate import OperatorGate
+from repro.executors.stats import ExecutorMetrics, ReassignmentRecord, ReassignmentStats
+from repro.executors.task import STOP, Task
+from repro.logic.base import OperatorLogic, StateAccess
+from repro.sim import Environment, Event, Store
+from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
+from repro.topology.batch import TupleBatch
+from repro.topology.keys import shard_of_key
+from repro.topology.operator import OperatorSpec
+
+
+class InFlightCounter:
+    """Counts tuples admitted but not yet fully processed by an operator.
+
+    The repartitioning protocol closes the gate and then waits for this
+    counter to hit zero — the "wait for all in-flight tuples" drain step.
+    """
+
+    def __init__(self, env: Environment) -> None:
+        self.env = env
+        self._count = 0
+        self._zero_waiters: typing.List[Event] = []
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def increment(self) -> None:
+        self._count += 1
+
+    def decrement(self) -> None:
+        if self._count == 0:
+            raise RuntimeError("in-flight counter underflow")
+        self._count -= 1
+        if self._count == 0:
+            waiters, self._zero_waiters = self._zero_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def wait_zero(self) -> Event:
+        event = self.env.event()
+        if self._count == 0:
+            event.succeed()
+        else:
+            self._zero_waiters.append(event)
+        return event
+
+
+class RCExecutor:
+    """A single-core executor under operator-level key repartitioning."""
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        spec: OperatorSpec,
+        index: int,
+        node_id: int,
+        manager: "RCOperatorManager",
+        logic: typing.Optional[OperatorLogic] = None,
+        config: typing.Optional[ExecutorConfig] = None,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec = spec
+        self.index = index
+        self.name = f"{spec.name}[rc{index}]"
+        self.node_id = node_id
+        self.manager = manager
+        self.logic = logic if logic is not None else spec.logic
+        self.config = config or ExecutorConfig()
+        self.metrics = ExecutorMetrics()
+        # One thread, one queue: the input queue *is* the task queue.
+        self.task = Task(
+            env, task_id=index, node_id=node_id, owner=self,
+            queue_capacity=self.config.input_queue_capacity,
+        )
+        self.input_queue = self.task.queue
+        self._emitter_queue = Store(env, capacity=self.config.emitter_queue_capacity)
+        self._emitter_sender = WindowedSender(
+            env, cluster.network, node_id, window=self.config.send_window
+        )
+        self._downstream_groups: typing.List[typing.Any] = []
+        self._sink_recorder: typing.Optional[typing.Callable] = None
+        env.process(self._emitter_loop())
+
+    def connect(
+        self,
+        downstream_groups: typing.Sequence[typing.Any],
+        sink_recorder: typing.Optional[typing.Callable] = None,
+    ) -> None:
+        self._downstream_groups = list(downstream_groups)
+        self._sink_recorder = sink_recorder
+
+    @property
+    def is_sink(self) -> bool:
+        return not self._downstream_groups
+
+    def process_batch(self, task: Task, batch: TupleBatch) -> typing.Generator:
+        cost = self.logic.cpu_seconds(batch) if self.logic else 0.0
+        cost = cost / self.cluster.speed(self.node_id)
+        if cost > 0:
+            yield self.env.timeout(cost)
+        shard_id = shard_of_key(batch.key, self.manager.total_shards)
+        emissions = []
+        if self.logic is not None:
+            store = self.manager.store_for_node(self.node_id)
+            state = StateAccess(store.get(shard_id))
+            emissions = self.logic.process(batch, state)
+        now = self.env.now
+        self.metrics.on_processed(now, batch.count, cost)
+        reference = batch.admitted_at if batch.admitted_at is not None else batch.created_at
+        self.metrics.queue_latency.record(max(0.0, now - reference))
+        if self.is_sink:
+            if self._sink_recorder is not None:
+                self._sink_recorder(batch, now)
+        else:
+            for emission in emissions:
+                out = TupleBatch(
+                    key=emission.key,
+                    count=emission.count,
+                    cpu_cost=0.0,
+                    size_bytes=emission.size_bytes,
+                    created_at=batch.created_at,
+                    payload=emission.payload,
+                    admitted_at=batch.admitted_at,
+                )
+                self.metrics.on_emit(now, out.total_bytes)
+                yield self._emitter_queue.put(out)
+        self.manager.in_flight.decrement()
+
+    def _emitter_loop(self) -> typing.Generator:
+        while True:
+            batch = yield self._emitter_queue.get()
+            for group in self._downstream_groups:
+                yield from group.submit(batch, self.node_id, self._emitter_sender)
+
+    def __repr__(self) -> str:
+        return f"RCExecutor({self.name}, node={self.node_id})"
+
+
+class RCOperatorManager:
+    """Operator-level elasticity controller for the RC baseline.
+
+    Owns the dynamic shard-to-executor assignment, executes repartitioning
+    rounds with global synchronization, and (optionally) scales the
+    operator by creating/deleting executors according to an injected
+    resource-allocation policy.
+    """
+
+    #: Serial control-handling cost at the manager per upstream executor,
+    #: per synchronization round (command dispatch + ack bookkeeping).
+    PAUSE_HANDLING_SECONDS = 1e-3
+    #: Rebalance only when δ exceeds θ by this factor (noise hysteresis).
+    #: Each RC rebalance pays a full global synchronization, so the margin
+    #: is set well above shard-load sampling noise.
+    REBALANCE_TRIGGER_MARGIN = 1.3
+    #: Extra smoothing for RC shard loads (slower, steadier than the
+    #: intra-executor balancer, whose moves are nearly free).
+    LOAD_SMOOTHING = 0.3
+
+    def __init__(
+        self,
+        env: Environment,
+        cluster: Cluster,
+        spec: OperatorSpec,
+        config: typing.Optional[ExecutorConfig] = None,
+        reassignment_stats: typing.Optional[ReassignmentStats] = None,
+        migration_clock: typing.Optional[MigrationClock] = None,
+        manage_interval: float = 1.0,
+        manager_node: int = 0,
+        logic_factory: typing.Optional[typing.Callable[[], OperatorLogic]] = None,
+    ) -> None:
+        self.env = env
+        self.cluster = cluster
+        self.spec = spec
+        self.config = config or ExecutorConfig()
+        self.reassignment_stats = reassignment_stats or ReassignmentStats()
+        self.migration_clock = migration_clock or MigrationClock()
+        self.manage_interval = manage_interval
+        self.manager_node = manager_node
+        self._logic_factory = logic_factory
+        self.total_shards = spec.total_shards
+        self.gate = OperatorGate(env)
+        self.in_flight = InFlightCounter(env)
+        self.executors: typing.List[RCExecutor] = []
+        self._assignment: typing.Dict[int, RCExecutor] = {}
+        self._stores: typing.Dict[int, ProcessStateStore] = {}
+        self._upstream_instances: typing.List[typing.Any] = []
+        self._balancer = ShardBalancer(theta=self.config.theta)
+        self._shard_cost_accum = [0.0] * self.total_shards
+        self._shard_load = [0.0] * self.total_shards
+        self._next_index = 0
+        self._downstream_groups: typing.List[typing.Any] = []
+        self._sink_recorder: typing.Optional[typing.Callable] = None
+        #: Injected policy: manager -> desired executor count (or None).
+        self.target_executors_fn: typing.Optional[typing.Callable] = None
+        #: Node placement cursor for new executors (round robin).
+        self._placement_cursor = 0
+        self.repartition_count = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def connect(
+        self,
+        downstream_groups: typing.Sequence[typing.Any],
+        sink_recorder: typing.Optional[typing.Callable] = None,
+    ) -> None:
+        self._downstream_groups = list(downstream_groups)
+        self._sink_recorder = sink_recorder
+        for executor in self.executors:
+            executor.connect(downstream_groups, sink_recorder)
+
+    def connect_upstreams(self, instances: typing.Sequence[typing.Any]) -> None:
+        """Register the upstream executor instances to synchronize with."""
+        self._upstream_instances = list(instances)
+
+    def bootstrap(self, num_executors: int, nodes: typing.Sequence[int]) -> None:
+        """Create the initial executors and spread shards round-robin."""
+        if num_executors < 1:
+            raise ValueError("need at least one executor")
+        for i in range(num_executors):
+            self._create_executor(nodes[i % len(nodes)])
+        for shard_id in range(self.total_shards):
+            executor = self.executors[shard_id % len(self.executors)]
+            self._assignment[shard_id] = executor
+            self.store_for_node(executor.node_id).add(
+                ShardState(shard_id, nominal_bytes=self.spec.shard_state_bytes)
+            )
+
+    def start(self) -> None:
+        self.env.process(self._manage_loop())
+
+    # -- routing / state --------------------------------------------------
+
+    def executor_for_shard(self, shard_id: int) -> RCExecutor:
+        return self._assignment[shard_id]
+
+    def assignment_snapshot(self) -> typing.Dict[int, RCExecutor]:
+        return dict(self._assignment)
+
+    def store_for_node(self, node_id: int) -> ProcessStateStore:
+        """Executors of this operator on one node share a state store."""
+        store = self._stores.get(node_id)
+        if store is None:
+            store = ProcessStateStore(self.spec.name, node_id)
+            self._stores[node_id] = store
+        return store
+
+    def record_arrival(self, executor: RCExecutor, batch: TupleBatch) -> None:
+        """Called by :class:`RCGroup` when a batch is admitted."""
+        now = self.env.now
+        executor.metrics.on_arrival(now, batch.count, batch.total_bytes)
+        shard_id = shard_of_key(batch.key, self.total_shards)
+        cost = executor.logic.cpu_seconds(batch) if executor.logic else 0.0
+        self._shard_cost_accum[shard_id] += cost
+
+    # -- aggregate metrics -------------------------------------------------
+
+    def arrival_rate(self, now: float) -> float:
+        return sum(ex.metrics.arrival_rate(now) for ex in self.executors)
+
+    def service_rate(self) -> float:
+        """Mean per-core µ across executors."""
+        if not self.executors:
+            return 1.0
+        return sum(ex.metrics.service_rate() for ex in self.executors) / len(
+            self.executors
+        )
+
+    # -- scaling / balancing ----------------------------------------------
+
+    def _create_executor(self, node_id: int) -> RCExecutor:
+        logic = self._logic_factory() if self._logic_factory else self.spec.logic
+        executor = RCExecutor(
+            self.env, self.cluster, self.spec, self._next_index, node_id,
+            manager=self, logic=logic, config=self.config,
+        )
+        self._next_index += 1
+        executor.connect(self._downstream_groups, self._sink_recorder)
+        self.executors.append(executor)
+        self.cluster.cores.allocate(executor.name, node_id, 1)
+        return executor
+
+    def _pick_node_for_new_executor(self) -> typing.Optional[int]:
+        free_nodes = self.cluster.cores.nodes_with_free_cores()
+        if not free_nodes:
+            return None
+        node = free_nodes[self._placement_cursor % len(free_nodes)]
+        self._placement_cursor += 1
+        return node
+
+    def _snapshot_loads(self) -> typing.Dict[int, float]:
+        alpha = self.LOAD_SMOOTHING
+        interval = max(self.manage_interval, 1e-9)
+        for shard_id in range(self.total_shards):
+            observed = self._shard_cost_accum[shard_id] / interval
+            self._shard_load[shard_id] = (
+                alpha * observed + (1 - alpha) * self._shard_load[shard_id]
+            )
+            self._shard_cost_accum[shard_id] = 0.0
+        return {i: self._shard_load[i] for i in range(self.total_shards)}
+
+    def _manage_loop(self) -> typing.Generator:
+        while True:
+            yield self.env.timeout(self.manage_interval)
+            shard_loads = self._snapshot_loads()
+            removed: typing.List[RCExecutor] = []
+            # 1. Operator scaling: create/delete executors per the policy.
+            if self.target_executors_fn is not None:
+                target = max(1, int(self.target_executors_fn(self)))
+                while len(self.executors) - len(removed) < target:
+                    node = self._pick_node_for_new_executor()
+                    if node is None:
+                        break
+                    self._create_executor(node)
+                while len(self.executors) - len(removed) > target:
+                    live = [e for e in self.executors if e not in removed]
+                    victim = min(
+                        live,
+                        key=lambda e: sum(
+                            shard_loads[s]
+                            for s, owner in self._assignment.items()
+                            if owner is e
+                        ),
+                    )
+                    removed.append(victim)
+            # 2. Load balancing over the surviving executors.  A margin
+            # above θ avoids paying a global synchronization for shard-load
+            # measurement noise.
+            survivors = [e for e in self.executors if e not in removed]
+            membership_changed = bool(removed) or len(survivors) < len(
+                self.executors
+            ) or any(
+                not any(
+                    owner is e for owner in self._assignment.values()
+                )
+                for e in survivors
+            )
+            if membership_changed or self._imbalance(shard_loads) > (
+                self.config.theta * self.REBALANCE_TRIGGER_MARGIN
+            ):
+                moves = self._plan_moves(shard_loads, survivors, removed)
+                if moves or removed:
+                    yield from self._repartition(moves, removed)
+
+    def _imbalance(self, shard_loads) -> float:
+        """Executor-level δ under the current assignment."""
+        loads: typing.Dict[int, float] = {id(e): 0.0 for e in self.executors}
+        for shard_id, owner in self._assignment.items():
+            loads[id(owner)] += shard_loads.get(shard_id, 0.0)
+        return ShardBalancer.imbalance(loads)
+
+    def _plan_moves(self, shard_loads, survivors, removed):
+        """Forced evacuations from removed executors plus FFD refinements."""
+        assignment = dict(self._assignment)
+        forced = []
+        if removed:
+            removed_set = set(id(e) for e in removed)
+            evacuating = [
+                s for s, owner in assignment.items() if id(owner) in removed_set
+            ]
+            survivor_loads = {
+                e: sum(
+                    shard_loads[s]
+                    for s, owner in assignment.items()
+                    if owner is e
+                )
+                for e in survivors
+            }
+            placement = self._balancer.spread_plan(
+                shard_loads, evacuating, survivors, initial_loads=survivor_loads
+            )
+            for shard_id, dst in placement.items():
+                forced.append((shard_id, assignment[shard_id], dst))
+                assignment[shard_id] = dst
+        planned = self._balancer.plan(shard_loads, assignment, survivors)
+        refinements = [(m.shard_id, m.src, m.dst) for m in planned]
+        return forced + refinements
+
+    # -- the global synchronization protocol --------------------------------
+
+    def _control_round(self) -> typing.Generator:
+        """One command/ack round with every upstream executor instance."""
+        acks = []
+        for instance in self._upstream_instances:
+            acks.append(
+                self.env.process(
+                    self._command_and_ack(getattr(instance, "node_id", 0))
+                )
+            )
+            # Serial dispatch/bookkeeping at the manager.
+            yield self.env.timeout(self.PAUSE_HANDLING_SECONDS)
+        if acks:
+            yield self.env.all_of(acks)
+
+    def _command_and_ack(self, upstream_node: int) -> typing.Generator:
+        yield self.cluster.network.transfer(
+            self.manager_node, upstream_node, self.config.control_bytes,
+            purpose=TransferPurpose.CONTROL,
+        )
+        yield self.cluster.network.transfer(
+            upstream_node, self.manager_node, self.config.control_bytes,
+            purpose=TransferPurpose.CONTROL,
+        )
+
+    def _repartition(
+        self,
+        moves: typing.List[typing.Tuple[int, RCExecutor, RCExecutor]],
+        removed: typing.List[RCExecutor],
+    ) -> typing.Generator:
+        """Operator-level key repartitioning with global synchronization."""
+        started = self.env.now
+        self.repartition_count += 1
+        # (a) Pause all upstream executors.
+        self.gate.close()
+        yield from self._control_round()
+        # (b) Wait for all in-flight tuples to be processed.
+        yield self.in_flight.wait_zero()
+        drain_done = self.env.now
+        # (c) Migrate state between node-level stores.
+        migrations: typing.List[typing.Tuple[int, bool, float, int]] = []
+        for shard_id, src, dst in moves:
+            inter_node = src.node_id != dst.node_id
+            migration_started = self.env.now
+            migrated_bytes = 0
+            if inter_node:
+                # The manager orchestrates each cross-node move with a
+                # control command to the source node — the coordination
+                # overhead the executor-centric design avoids (its moves
+                # are local to one executor's main process).
+                yield self.cluster.network.transfer(
+                    self.manager_node, src.node_id, self.config.control_bytes,
+                    purpose=TransferPurpose.CONTROL,
+                )
+                src_store = self.store_for_node(src.node_id)
+                dst_store = self.store_for_node(dst.node_id)
+                migrated_bytes = src_store.get(shard_id).nominal_bytes
+                yield from migrate_shard(
+                    self.env, self.cluster.network, src_store, dst_store,
+                    shard_id, self.migration_clock,
+                )
+            migrations.append(
+                (shard_id, inter_node, self.env.now - migration_started, migrated_bytes)
+            )
+            self._assignment[shard_id] = dst
+        # (d) Update the routing tables of all upstream executors.
+        yield from self._control_round()
+        update_done = self.env.now
+        self.gate.open()
+        # Retire removed executors (their queues are drained by now).
+        for executor in removed:
+            executor.input_queue.put_nowait(STOP)
+            self.executors.remove(executor)
+            self.cluster.cores.release(executor.name, executor.node_id, 1)
+        sync_seconds = (drain_done - started) + (update_done - drain_done) - sum(
+            duration for _, _, duration, _ in migrations
+        )
+        sync_seconds = max(0.0, sync_seconds)
+        for shard_id, inter_node, duration, migrated_bytes in migrations:
+            self.reassignment_stats.record(
+                ReassignmentRecord(
+                    time=started,
+                    shard_id=shard_id,
+                    inter_node=inter_node,
+                    sync_seconds=sync_seconds,
+                    migration_seconds=duration,
+                    migrated_bytes=migrated_bytes,
+                )
+            )

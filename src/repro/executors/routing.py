@@ -1,0 +1,84 @@
+"""The two-tier routing table of an elastic executor (paper §3.2).
+
+Tier 1 — key -> shard — is a static hash (:func:`repro.topology.keys.shard_of_key`).
+Tier 2 — shard -> task — is this table: an explicit dynamic mapping updated
+on shard reassignments, with per-shard pause buffers used by the
+consistent-reassignment protocol to hold arrivals while a shard moves.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.executors.task import Task
+
+
+class ShardEntry:
+    """Routing state of one shard."""
+
+    __slots__ = ("shard_id", "task", "paused", "buffer")
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self.task: typing.Optional["Task"] = None
+        self.paused = False
+        self.buffer: collections.deque = collections.deque()
+
+    def __repr__(self) -> str:
+        state = "paused" if self.paused else "active"
+        return f"ShardEntry({self.shard_id} -> {self.task}, {state})"
+
+
+class RoutingTable:
+    """shard -> task mapping with per-task shard sets."""
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self._entries = [ShardEntry(i) for i in range(num_shards)]
+        self._shards_by_task: typing.Dict["Task", set] = {}
+
+    def entry(self, shard_id: int) -> ShardEntry:
+        return self._entries[shard_id]
+
+    def register_task(self, task: "Task") -> None:
+        if task in self._shards_by_task:
+            raise ValueError(f"{task!r} already registered")
+        self._shards_by_task[task] = set()
+
+    def unregister_task(self, task: "Task") -> None:
+        shards = self._shards_by_task.pop(task, set())
+        if shards:
+            raise ValueError(f"cannot unregister {task!r}: still owns {sorted(shards)}")
+
+    def assign(self, shard_id: int, task: "Task") -> None:
+        """Point ``shard_id`` at ``task`` (does not touch pause state)."""
+        if task not in self._shards_by_task:
+            raise ValueError(f"{task!r} is not registered")
+        entry = self._entries[shard_id]
+        if entry.task is not None:
+            self._shards_by_task[entry.task].discard(shard_id)
+        entry.task = task
+        self._shards_by_task[task].add(shard_id)
+
+    def shards_of(self, task: "Task") -> typing.Set[int]:
+        return set(self._shards_by_task.get(task, set()))
+
+    def assignment(self) -> typing.Dict[int, "Task"]:
+        """shard -> task snapshot (unassigned shards omitted)."""
+        return {
+            entry.shard_id: entry.task
+            for entry in self._entries
+            if entry.task is not None
+        }
+
+    @property
+    def tasks(self) -> typing.Tuple["Task", ...]:
+        return tuple(self._shards_by_task)
+
+    def buffered_items(self) -> int:
+        """Total items held in pause buffers (diagnostics)."""
+        return sum(len(entry.buffer) for entry in self._entries)

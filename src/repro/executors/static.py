@@ -1,0 +1,33 @@
+"""The static paradigm: a single-core executor with no elasticity.
+
+Default Storm behaviour — one data-processing thread statically bound to a
+CPU core, static key partitioning, no load balancing and no scaling.
+Implemented as an elastic executor with the balancer disabled and exactly
+one permanent task, so the data plane (receiver, task, emitter) is shared
+code rather than a diverging reimplementation.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.executors.elastic import ElasticExecutor
+
+
+class StaticExecutor(ElasticExecutor):
+    """One key subspace, one core, forever."""
+
+    def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._enable_balancer = False
+
+    def start(self, initial_cores: int = 1) -> None:
+        if initial_cores != 1:
+            raise ValueError("a static executor is bound to exactly one core")
+        super().start(initial_cores=1)
+
+    def add_core(self, node_id: int) -> typing.Generator:
+        raise NotImplementedError("static executors cannot scale")
+
+    def remove_core(self, node_id: int) -> typing.Generator:
+        raise NotImplementedError("static executors cannot scale")

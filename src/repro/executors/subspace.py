@@ -1,0 +1,66 @@
+"""Dynamic tier-1 routing: key subspaces (slots) -> executors.
+
+The executor-centric paradigm keeps the operator-level key partition
+static during normal operation; the paper's §4.2 closes with a *hybrid*
+proposal — infrequent operator-level repartitioning to split overloaded
+executors or merge idle ones.  That requires tier-1 routing to be a
+table rather than a bare hash: keys map statically to ``num_slots``
+*slots*, and slots map (rarely, under global synchronization) to
+executors.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.topology.keys import stable_hash
+
+#: Salt for the slot hash — distinct from executor/shard salts.
+_SLOT_SALT = 3
+
+
+def slot_of_key(key: int, num_slots: int) -> int:
+    if num_slots < 1:
+        raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+    return stable_hash(key, _SLOT_SALT) % num_slots
+
+
+class SubspaceRouter:
+    """The operator-level slot table."""
+
+    def __init__(self, num_slots: int, executors: typing.Sequence) -> None:
+        if num_slots < 1:
+            raise ValueError(f"num_slots must be >= 1, got {num_slots}")
+        if not executors:
+            raise ValueError("router needs at least one executor")
+        if num_slots < len(executors):
+            raise ValueError("need at least one slot per executor")
+        self.num_slots = num_slots
+        self._table: typing.List[typing.Any] = [
+            executors[slot % len(executors)] for slot in range(num_slots)
+        ]
+
+    def route(self, key: int):
+        return self._table[slot_of_key(key, self.num_slots)]
+
+    def executor_for_slot(self, slot: int):
+        return self._table[slot]
+
+    def slots_of(self, executor) -> typing.List[int]:
+        return [
+            slot for slot, owner in enumerate(self._table) if owner is executor
+        ]
+
+    def executors(self) -> typing.List[typing.Any]:
+        seen: typing.List[typing.Any] = []
+        for owner in self._table:
+            if all(owner is not e for e in seen):
+                seen.append(owner)
+        return seen
+
+    def reassign_slots(self, slots: typing.Iterable[int], executor) -> None:
+        """Point ``slots`` at ``executor`` (caller provides the sync)."""
+        for slot in slots:
+            if not 0 <= slot < self.num_slots:
+                raise ValueError(f"slot {slot} out of range")
+            self._table[slot] = executor

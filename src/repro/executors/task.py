@@ -1,0 +1,70 @@
+"""Tasks: the data-processing threads of an executor.
+
+One task per assigned CPU core (paper §3).  A task pulls items from its
+pending queue strictly FIFO — the property the labeling-tuple drain
+protocol relies on — and delegates actual batch processing to its owning
+executor, so the same Task class serves all three paradigms.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim import Environment, Store
+from repro.topology.batch import LabelTuple
+
+
+class StopSignal:
+    """Queue sentinel that makes a task exit after in-queue work drains."""
+
+    _instance: typing.Optional["StopSignal"] = None
+
+    def __new__(cls) -> "StopSignal":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<StopSignal>"
+
+
+STOP = StopSignal()
+
+
+class Task:
+    """A processing thread bound to one CPU core on one node."""
+
+    def __init__(
+        self,
+        env: Environment,
+        task_id: int,
+        node_id: int,
+        owner: typing.Any,
+        queue_capacity: int = 8,
+    ) -> None:
+        self.env = env
+        self.task_id = task_id
+        self.node_id = node_id
+        self.owner = owner
+        self.queue = Store(env, capacity=queue_capacity)
+        self.stopped = False
+        self.busy_seconds = 0.0
+        self.process = env.process(self._run())
+
+    def _run(self) -> typing.Generator:
+        while True:
+            item = yield self.queue.get()
+            if isinstance(item, StopSignal):
+                self.stopped = True
+                return
+            if isinstance(item, LabelTuple):
+                # FIFO guarantees every tuple routed to this task before the
+                # label has already been processed — signal the drain.
+                item.event.succeed()
+                continue
+            started = self.env.now
+            yield from self.owner.process_batch(self, item)
+            self.busy_seconds += self.env.now - started
+
+    def __repr__(self) -> str:
+        return f"Task(id={self.task_id}, node={self.node_id})"

@@ -1,0 +1,33 @@
+"""User-defined operator logic.
+
+The paper's prototype exposes an ``ElasticBolt`` abstract class with a
+per-key state access interface; :class:`OperatorLogic` is the equivalent
+here.  Synthetic cost-model logic drives the micro-benchmarks; the real
+logics (limit order book, moving averages, composite index, price alarm,
+fraud detection) implement the Shanghai-Stock-Exchange application of
+Section 5.4.
+"""
+
+from repro.logic.base import OperatorLogic, StateAccess, SyntheticLogic
+from repro.logic.analytics import (
+    CompositeIndexLogic,
+    FraudDetectionLogic,
+    MovingAverageLogic,
+    PriceAlarmLogic,
+    TradeStatisticsLogic,
+)
+from repro.logic.orderbook import LimitOrder, OrderBook, TransactorLogic
+
+__all__ = [
+    "CompositeIndexLogic",
+    "FraudDetectionLogic",
+    "LimitOrder",
+    "MovingAverageLogic",
+    "OperatorLogic",
+    "OrderBook",
+    "PriceAlarmLogic",
+    "StateAccess",
+    "SyntheticLogic",
+    "TradeStatisticsLogic",
+    "TransactorLogic",
+]

@@ -1,0 +1,188 @@
+"""Limit order book and the SSE transactor (market clearing) operator.
+
+Implements the paper's Section 5.4 transactor for real: incoming limit
+orders are matched against outstanding orders with price-time priority,
+producing transaction records that flow to the analytics operators.
+
+When batches carry no real payload (cost-only benchmark mode), the
+transactor falls back to a synthetic selectivity model so the dataflow
+shape (one ~160-byte record per matched order) is preserved.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import typing
+
+from repro.logic.base import OperatorLogic, StateAccess
+from repro.topology.batch import Emission, TupleBatch
+
+BUY = "buy"
+SELL = "sell"
+
+#: Paper's wire sizes: 96-byte orders in, 160-byte transaction records out.
+ORDER_BYTES = 96
+TRANSACTION_BYTES = 160
+
+
+@dataclasses.dataclass
+class LimitOrder:
+    """A buyer's bid or seller's ask for one stock."""
+
+    order_id: int
+    user_id: int
+    stock_id: int
+    side: str
+    price: float
+    volume: int
+    time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.side not in (BUY, SELL):
+            raise ValueError(f"side must be 'buy' or 'sell', got {self.side!r}")
+        if self.price <= 0:
+            raise ValueError(f"price must be positive, got {self.price}")
+        if self.volume <= 0:
+            raise ValueError(f"volume must be positive, got {self.volume}")
+
+
+@dataclasses.dataclass
+class Transaction:
+    """A completed trade between one buyer and one seller."""
+
+    stock_id: int
+    price: float
+    volume: int
+    buyer_id: int
+    seller_id: int
+    time: float
+
+
+class OrderBook:
+    """Price-time-priority limit order book for a single stock."""
+
+    def __init__(self, stock_id: int) -> None:
+        self.stock_id = stock_id
+        self._seq = 0
+        # Bids: max-price first -> store negated price.  Asks: min-price first.
+        self._bids: typing.List[typing.Tuple[float, int, LimitOrder]] = []
+        self._asks: typing.List[typing.Tuple[float, int, LimitOrder]] = []
+
+    @property
+    def outstanding_orders(self) -> int:
+        return len(self._bids) + len(self._asks)
+
+    def best_bid(self) -> typing.Optional[float]:
+        return -self._bids[0][0] if self._bids else None
+
+    def best_ask(self) -> typing.Optional[float]:
+        return self._asks[0][0] if self._asks else None
+
+    def execute(self, order: LimitOrder) -> typing.List[Transaction]:
+        """Match ``order`` against the book; queue any unfilled remainder."""
+        if order.stock_id != self.stock_id:
+            raise ValueError(
+                f"order for stock {order.stock_id} sent to book {self.stock_id}"
+            )
+        transactions: typing.List[Transaction] = []
+        remaining = order.volume
+        if order.side == BUY:
+            while remaining > 0 and self._asks and self._asks[0][0] <= order.price:
+                ask_price, _, ask = self._asks[0]
+                traded = min(remaining, ask.volume)
+                transactions.append(
+                    Transaction(
+                        stock_id=self.stock_id,
+                        price=ask_price,
+                        volume=traded,
+                        buyer_id=order.user_id,
+                        seller_id=ask.user_id,
+                        time=order.time,
+                    )
+                )
+                remaining -= traded
+                ask.volume -= traded
+                if ask.volume == 0:
+                    heapq.heappop(self._asks)
+            if remaining > 0:
+                self._seq += 1
+                queued = dataclasses.replace(order, volume=remaining)
+                heapq.heappush(self._bids, (-order.price, self._seq, queued))
+        else:
+            while remaining > 0 and self._bids and -self._bids[0][0] >= order.price:
+                neg_bid_price, _, bid = self._bids[0]
+                traded = min(remaining, bid.volume)
+                transactions.append(
+                    Transaction(
+                        stock_id=self.stock_id,
+                        price=-neg_bid_price,
+                        volume=traded,
+                        buyer_id=bid.user_id,
+                        seller_id=order.user_id,
+                        time=order.time,
+                    )
+                )
+                remaining -= traded
+                bid.volume -= traded
+                if bid.volume == 0:
+                    heapq.heappop(self._bids)
+            if remaining > 0:
+                self._seq += 1
+                queued = dataclasses.replace(order, volume=remaining)
+                heapq.heappush(self._asks, (order.price, self._seq, queued))
+        return transactions
+
+
+class TransactorLogic(OperatorLogic):
+    """The market-clearing operator keyed by stock id.
+
+    Real mode (batch payload = list of :class:`LimitOrder`): executes the
+    orders against the stock's book held in shard state and emits actual
+    :class:`Transaction` records.
+
+    Cost-only mode (no payload): emits ``match_ratio`` transaction records
+    per order, preserving the data rates downstream operators see.
+    """
+
+    def __init__(
+        self, cost_per_order: float = 1e-3, match_ratio: float = 0.7
+    ) -> None:
+        if cost_per_order < 0:
+            raise ValueError("cost_per_order must be >= 0")
+        if not 0 <= match_ratio <= 1:
+            raise ValueError("match_ratio must be in [0, 1]")
+        self.cost_per_order = cost_per_order
+        self.match_ratio = match_ratio
+        self._carry = 0.0
+
+    def cpu_seconds(self, batch: TupleBatch) -> float:
+        return batch.count * self.cost_per_order
+
+    def process(
+        self, batch: TupleBatch, state: StateAccess
+    ) -> typing.List[Emission]:
+        if batch.payload is None:
+            wanted = batch.count * self.match_ratio + self._carry
+            out = int(wanted)
+            self._carry = wanted - out
+            if out == 0:
+                return []
+            return [Emission(key=batch.key, count=out, size_bytes=TRANSACTION_BYTES)]
+        book: typing.Optional[OrderBook] = state.get(batch.key)
+        if book is None:
+            book = OrderBook(stock_id=batch.key)
+            state.put(batch.key, book)
+        transactions: typing.List[Transaction] = []
+        for order in batch.payload:
+            transactions.extend(book.execute(order))
+        if not transactions:
+            return []
+        return [
+            Emission(
+                key=batch.key,
+                count=len(transactions),
+                size_bytes=TRANSACTION_BYTES,
+                payload=transactions,
+            )
+        ]

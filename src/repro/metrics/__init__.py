@@ -1,0 +1,22 @@
+"""Measurement primitives used across the system.
+
+The paper's prototype instruments each elastic executor with performance
+metrics (arrival rate, service rate, data intensity, state size) that feed
+the dynamic scheduler, plus system-wide accounting (state-migration bytes,
+remote-transfer bytes) used in the evaluation.  This package provides the
+corresponding virtual-time-aware meters.
+"""
+
+from repro.metrics.counters import ByteCounter, Counter
+from repro.metrics.latency import LatencyReservoir
+from repro.metrics.rates import EWMA, WindowedRate
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "ByteCounter",
+    "Counter",
+    "EWMA",
+    "LatencyReservoir",
+    "TimeSeries",
+    "WindowedRate",
+]

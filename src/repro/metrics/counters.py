@@ -1,0 +1,44 @@
+"""Monotonic counters with interval-delta support."""
+
+from __future__ import annotations
+
+
+class Counter:
+    """A monotonically increasing event counter.
+
+    Supports marking a checkpoint so callers (the scheduler, benchmark
+    harnesses) can read per-interval deltas without resetting history.
+    """
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._checkpoint = 0
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    def add(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increments must be >= 0, got {amount}")
+        self._total += amount
+
+    def delta(self) -> int:
+        """Count accumulated since the previous :meth:`delta` call."""
+        value = self._total - self._checkpoint
+        self._checkpoint = self._total
+        return value
+
+    def peek_delta(self) -> int:
+        """Like :meth:`delta` but without moving the checkpoint."""
+        return self._total - self._checkpoint
+
+
+class ByteCounter(Counter):
+    """A counter for byte volumes with rate helpers."""
+
+    def rate_since(self, elapsed: float) -> float:
+        """Average bytes/second over ``elapsed`` seconds, consuming the delta."""
+        if elapsed <= 0:
+            raise ValueError(f"elapsed must be positive, got {elapsed}")
+        return self.delta() / elapsed

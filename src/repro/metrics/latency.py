@@ -1,0 +1,80 @@
+"""Latency sampling and percentile computation."""
+
+from __future__ import annotations
+
+import random
+import typing
+
+
+class LatencyReservoir:
+    """Reservoir sample of latency observations.
+
+    Keeps a bounded, uniformly random subset of all samples (Vitter's
+    algorithm R) so percentile queries stay cheap even over long runs.
+    Deterministic given the seed.
+    """
+
+    def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._rng = random.Random(seed)
+        self._samples: typing.List[float] = []
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    @property
+    def count(self) -> int:
+        """Total observations (not just retained samples)."""
+        return self._count
+
+    @property
+    def mean(self) -> float:
+        """Mean over *all* observations."""
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be >= 0, got {latency}")
+        self._count += 1
+        self._sum += latency
+        if latency > self._max:
+            self._max = latency
+        if len(self._samples) < self.capacity:
+            self._samples.append(latency)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.capacity:
+                self._samples[slot] = latency
+
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (0..100) with linear interpolation."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        position = (q / 100.0) * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def snapshot(self) -> dict:
+        """Summary statistics for reporting."""
+        return {
+            "count": self._count,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p99": self.percentile(99),
+            "max": self._max,
+        }

@@ -1,0 +1,82 @@
+"""Virtual-time rate estimators.
+
+The dynamic scheduler needs per-executor arrival rates (λ_j) and service
+rates (µ_j) measured over the recent past.  :class:`WindowedRate` provides
+an exact sliding-window rate; :class:`EWMA` provides a smoothed scalar
+estimate (used for per-tuple CPU cost and shard workload statistics).
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+
+
+class WindowedRate:
+    """Exact event rate over a sliding window of virtual time.
+
+    Observations are (time, count) pairs; :meth:`rate` prunes observations
+    older than the window and returns events/second.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._events: collections.deque = collections.deque()
+        self._sum = 0.0
+
+    def record(self, now: float, count: float = 1.0) -> None:
+        self._events.append((now, count))
+        self._sum += count
+        self._prune(now)
+
+    def rate(self, now: float) -> float:
+        """Events per second over the trailing window ending at ``now``."""
+        self._prune(now)
+        return self._sum / self.window
+
+    def count(self, now: float) -> float:
+        """Raw event count inside the window."""
+        self._prune(now)
+        return self._sum
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window
+        events = self._events
+        while events and events[0][0] <= horizon:
+            _, count = events.popleft()
+            self._sum -= count
+
+
+class EWMA:
+    """Exponentially weighted moving average with a virtual-time half-life.
+
+    The decay is computed from elapsed virtual time rather than a sample
+    count, so estimates stay meaningful under bursty observation patterns.
+    """
+
+    def __init__(self, half_life: float, initial: float = 0.0) -> None:
+        if half_life <= 0:
+            raise ValueError(f"half_life must be positive, got {half_life}")
+        self._decay_rate = math.log(2.0) / half_life
+        self._value = float(initial)
+        self._last_time: float = None  # type: ignore[assignment]
+        self._initialized = False
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def update(self, now: float, sample: float) -> float:
+        """Blend ``sample`` in; the weight of history decays with elapsed time."""
+        if not self._initialized:
+            self._value = float(sample)
+            self._last_time = now
+            self._initialized = True
+            return self._value
+        elapsed = max(0.0, now - self._last_time)
+        alpha = 1.0 - math.exp(-self._decay_rate * elapsed) if elapsed > 0 else 0.5
+        self._value += alpha * (sample - self._value)
+        self._last_time = now
+        return self._value

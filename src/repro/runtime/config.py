@@ -1,0 +1,75 @@
+"""System-level configuration."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import typing
+
+from repro.executors.config import ExecutorConfig
+
+
+class Paradigm(enum.Enum):
+    """The execution paradigms compared in the paper (Table 1 + §5.4)."""
+
+    STATIC = "static"
+    RC = "resource-centric"
+    ELASTICUTOR = "elasticutor"
+    NAIVE_EC = "naive-ec"
+
+
+@dataclasses.dataclass
+class SystemConfig:
+    """Cluster, scheduler and runtime parameters of one experiment.
+
+    Defaults mirror the paper's testbed (32 nodes x 8 cores, 1 Gbps) —
+    benchmarks usually scale ``num_nodes``/``cores_per_node`` down and note
+    it in EXPERIMENTS.md.
+    """
+
+    paradigm: Paradigm = Paradigm.ELASTICUTOR
+    num_nodes: int = 32
+    cores_per_node: int = 8
+    bandwidth_bps: float = 1e9
+    network_latency: float = 0.5e-3
+    #: Source instances (the upstream executors of the first operator).
+    source_instances: int = 8
+    #: Scheduler cadence and model target (Elasticutor / naive-EC).
+    scheduler_interval: float = 1.0
+    latency_target: float = 0.05
+    phi: float = 512 * 1024.0
+    #: RC manager cadence.
+    rc_manage_interval: float = 1.0
+    #: Static paradigm: executors per operator; None = fill the cluster.
+    static_executors_per_operator: typing.Optional[int] = None
+    #: Static paradigm: optional per-operator weights for splitting the
+    #: core budget (e.g. give the transactor half the cluster).  A fair
+    #: "well-tuned" static deployment; operators not listed get weight 1.
+    static_weights: typing.Optional[typing.Dict[str, float]] = None
+    executor: ExecutorConfig = dataclasses.field(default_factory=ExecutorConfig)
+    #: Sampling period for instantaneous-throughput time series.
+    sample_interval: float = 0.5
+    #: Enable the hybrid framework (paper §4.2 future work): coarse
+    #: operator-level executor split/merge on top of rapid elasticity.
+    #: Elasticutor/naive-EC only.
+    enable_hybrid: bool = False
+    #: Hybrid controller cadence (the paper suggests minutes; scaled down
+    #: with everything else here).
+    hybrid_interval: float = 20.0
+    #: Latency-breakdown tracing: attach a trace to every Nth source batch
+    #: (0 = off).  Completed traces land in ``SystemResult.traces``.
+    trace_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1 or self.cores_per_node < 1:
+            raise ValueError("cluster must have at least one node and core")
+        if self.source_instances < 1:
+            raise ValueError("need at least one source instance")
+        if self.scheduler_interval <= 0 or self.rc_manage_interval <= 0:
+            raise ValueError("scheduler intervals must be positive")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.cores_per_node

@@ -1,0 +1,524 @@
+"""StreamSystem: build, run and measure one experiment."""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+import typing
+
+from repro.cluster import Cluster, TransferPurpose
+from repro.executors import (
+    ElasticExecutor,
+    ElasticGroup,
+    HybridController,
+    RCGroup,
+    RCOperatorManager,
+    ReassignmentStats,
+    SourceInstance,
+    StaticExecutor,
+    StaticGroup,
+    SubspaceRouter,
+)
+from repro.metrics import LatencyReservoir, TimeSeries
+from repro.runtime.config import Paradigm, SystemConfig
+from repro.scheduler import DynamicScheduler
+from repro.scheduler.model import MMKModel
+from repro.sim import Environment
+from repro.topology import Topology
+
+SOURCE_OWNER = "__sources__"
+
+
+@dataclasses.dataclass
+class SystemResult:
+    """Measured outcome of one run (all rates in tuples/second)."""
+
+    paradigm: Paradigm
+    duration: float
+    warmup: float
+    throughput_tps: float
+    #: Arrival-time latency: completion minus the tuple's *nominal* arrival
+    #: time.  Counts the backlog a lagging system accumulates — the metric
+    #: a realtime application cares about, and the one that explodes when
+    #: a paradigm cannot keep up (paper Figure 6b / 16b).
+    latency: typing.Dict[str, float]
+    #: Residence latency: completion minus actual admission into the
+    #: system.  Bounded by queue capacities even under saturation.
+    residence: typing.Dict[str, float]
+    throughput_series: TimeSeries
+    sink_completions: TimeSeries
+    migration_bytes: int
+    remote_task_bytes: int
+    stream_bytes: int
+    reassignment_stats: ReassignmentStats
+    scheduler_rounds: int
+    scheduler_mean_wall_seconds: float
+    generated_tuples: int
+    processed_tuples: int
+    #: Sampled latency-breakdown traces (``SystemConfig.trace_every``).
+    traces: typing.List[typing.Dict[str, float]] = dataclasses.field(
+        default_factory=list
+    )
+
+    @property
+    def measure_window(self) -> float:
+        return self.duration - self.warmup
+
+    def trace_breakdown(self) -> typing.Dict[str, float]:
+        """Mean seconds per pipeline stage over the sampled traces.
+
+        Stages: ``source_wait`` (nominal arrival -> admission),
+        ``delivery`` (admission -> last receiver), ``queue`` (receiver ->
+        task), ``service`` (task start -> completion).
+        """
+        stages = {"source_wait": 0.0, "delivery": 0.0, "queue": 0.0, "service": 0.0}
+        complete = [
+            t for t in self.traces
+            if {"created", "admitted", "received", "task_start", "done"} <= set(t)
+        ]
+        if not complete:
+            return stages
+        n = len(complete)
+        for t in complete:
+            stages["source_wait"] += t["admitted"] - t["created"]
+            stages["delivery"] += max(0.0, t["received"] - t["admitted"])
+            stages["queue"] += max(0.0, t["task_start"] - t["received"])
+            stages["service"] += max(0.0, t["done"] - t["task_start"])
+        return {stage: total / n for stage, total in stages.items()}
+
+    @property
+    def migration_rate(self) -> float:
+        """State-migration bytes/second over the whole run (Table 2)."""
+        return self.migration_bytes / self.duration
+
+    @property
+    def remote_transfer_rate(self) -> float:
+        """Remote-task data bytes/second over the whole run (Table 2)."""
+        return self.remote_task_bytes / self.duration
+
+    def summary(self) -> str:
+        lines = [
+            f"paradigm            : {self.paradigm.value}",
+            f"duration / warmup   : {self.duration:.1f}s / {self.warmup:.1f}s",
+            f"throughput          : {self.throughput_tps:,.0f} tuples/s",
+            f"latency mean        : {self.latency['mean'] * 1e3:.2f} ms",
+            f"latency p99         : {self.latency['p99'] * 1e3:.2f} ms",
+            f"state migration     : {self.migration_rate / 1e6:.2f} MB/s",
+            f"remote task traffic : {self.remote_transfer_rate / 1e6:.2f} MB/s",
+        ]
+        if self.scheduler_rounds:
+            lines.append(
+                f"scheduling time     : {self.scheduler_mean_wall_seconds * 1e3:.2f} ms/round"
+            )
+        return "\n".join(lines)
+
+
+class StreamSystem:
+    """One topology running under one paradigm on one simulated cluster."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        workload: typing.Any,
+        config: typing.Optional[SystemConfig] = None,
+    ) -> None:
+        self.topology = topology
+        self.workload = workload
+        self.config = config or SystemConfig()
+        self.env = Environment()
+        self.cluster = Cluster(
+            self.env,
+            num_nodes=self.config.num_nodes,
+            cores_per_node=self.config.cores_per_node,
+            bandwidth_bps=self.config.bandwidth_bps,
+            network_latency=self.config.network_latency,
+        )
+        self.reassignment_stats = ReassignmentStats()
+        self.sink_latency = LatencyReservoir(capacity=8192, seed=11)
+        self.sink_residence = LatencyReservoir(capacity=8192, seed=13)
+        self.sink_completions = TimeSeries("sink_completions")
+        #: Completed latency-breakdown traces (config.trace_every > 0).
+        self.traces: typing.List[typing.Dict[str, float]] = []
+        self.throughput_series = TimeSeries("instantaneous_throughput")
+        self._warmup = 0.0
+        self.sources: typing.List[SourceInstance] = []
+        self.executors_by_operator: typing.Dict[str, typing.List] = {}
+        self.rc_managers: typing.Dict[str, RCOperatorManager] = {}
+        self.hybrid_controllers: typing.Dict[str, HybridController] = {}
+        self.scheduler: typing.Optional[DynamicScheduler] = None
+        self._reserved_by_node: typing.Dict[int, int] = {}
+        self._build()
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        config = self.config
+        source_names = self.topology.sources()
+        if len(source_names) != 1:
+            raise ValueError("StreamSystem currently supports one source operator")
+        self._source_name = source_names[0]
+        self._measure_operator = self.topology.downstream(self._source_name)[0]
+
+        # Source instances on round-robin nodes, one reserved core each.
+        for i in range(config.source_instances):
+            node = i % config.num_nodes
+            instance = SourceInstance(
+                self.env, self.cluster.network, self._source_name, i, node,
+                config=config.executor, trace_every=config.trace_every,
+            )
+            self.cluster.cores.allocate(SOURCE_OWNER, node, 1)
+            self._reserved_by_node[node] = self._reserved_by_node.get(node, 0) + 1
+            self.sources.append(instance)
+
+        non_source_ops = [
+            spec for spec in self.topology if not spec.is_source
+        ]
+
+        groups: typing.Dict[str, typing.Any] = {}
+        for spec in non_source_ops:
+            if config.paradigm is Paradigm.RC:
+                manager = RCOperatorManager(
+                    self.env, self.cluster, spec, config=config.executor,
+                    reassignment_stats=self.reassignment_stats,
+                    manage_interval=config.rc_manage_interval,
+                    manager_node=0,
+                    logic_factory=(lambda s=spec: copy.deepcopy(s.logic)),
+                )
+                nodes = self._place_on_free_cores(spec.num_executors)
+                manager.bootstrap(spec.num_executors, nodes)
+                manager.target_executors_fn = self._make_rc_policy(manager)
+                self.rc_managers[spec.name] = manager
+                self.executors_by_operator[spec.name] = manager.executors
+                groups[spec.name] = RCGroup(spec.name, manager)
+            else:
+                if config.paradigm is Paradigm.STATIC:
+                    count = self._static_executor_count(
+                        len(non_source_ops), spec.name, non_source_ops
+                    )
+                    executor_cls = StaticExecutor
+                else:
+                    count = spec.num_executors
+                    executor_cls = ElasticExecutor
+                executors = []
+                placement = self._place_on_free_cores(count)
+                for i in range(count):
+                    node = placement[i]
+                    executor = executor_cls(
+                        self.env, self.cluster, spec, index=i, local_node=node,
+                        logic=copy.deepcopy(spec.logic),
+                        config=config.executor,
+                        reassignment_stats=self.reassignment_stats,
+                    )
+                    self.cluster.cores.allocate(executor.name, node, 1)
+                    executor.start(initial_cores=1)
+                    executors.append(executor)
+                self.executors_by_operator[spec.name] = executors
+                group_cls = (
+                    StaticGroup if config.paradigm is Paradigm.STATIC else ElasticGroup
+                )
+                router = None
+                if (
+                    config.enable_hybrid
+                    and config.paradigm is not Paradigm.STATIC
+                ):
+                    router = SubspaceRouter(
+                        max(16, 4 * len(executors)), executors
+                    )
+                groups[spec.name] = group_cls(spec.name, executors, router=router)
+
+        # Wire downstream edges and sink recording.
+        for spec in non_source_ops:
+            downstream_groups = [
+                groups[name] for name in self.topology.downstream(spec.name)
+            ]
+            recorder = None if downstream_groups else self._record_sink
+            if config.paradigm is Paradigm.RC:
+                self.rc_managers[spec.name].connect(downstream_groups, recorder)
+            else:
+                for executor in self.executors_by_operator[spec.name]:
+                    executor.connect(downstream_groups, recorder)
+        for source in self.sources:
+            source.connect(
+                [groups[name] for name in self.topology.downstream(self._source_name)]
+            )
+
+        # RC managers synchronize with their upstream executor instances.
+        for spec in non_source_ops:
+            if config.paradigm is not Paradigm.RC:
+                break
+            upstream_instances: typing.List[typing.Any] = []
+            for upstream_name in self.topology.upstream(spec.name):
+                if upstream_name == self._source_name:
+                    upstream_instances.extend(self.sources)
+                else:
+                    upstream_instances.extend(
+                        self.executors_by_operator[upstream_name]
+                    )
+            manager = self.rc_managers[spec.name]
+            manager.connect_upstreams(upstream_instances)
+            manager.start()
+
+        # Global scheduler for the executor-centric paradigms.
+        if config.paradigm in (Paradigm.ELASTICUTOR, Paradigm.NAIVE_EC):
+            all_executors = [
+                executor
+                for executors in self.executors_by_operator.values()
+                for executor in executors
+            ]
+            self.scheduler = DynamicScheduler(
+                self.env,
+                self.cluster,
+                all_executors,
+                interval=config.scheduler_interval,
+                latency_target=config.latency_target,
+                phi=config.phi,
+                naive=config.paradigm is Paradigm.NAIVE_EC,
+                reserved_by_node=self._reserved_by_node,
+            )
+            self.scheduler.start()
+            if config.enable_hybrid:
+                self._build_hybrid_controllers(non_source_ops, groups)
+
+    def _build_hybrid_controllers(self, non_source_ops, groups) -> None:
+        """The paper's §4.2 hybrid framework: coarse split/merge on top of
+        the rapid elasticity of the elastic executors."""
+        for spec in non_source_ops:
+            group = groups[spec.name]
+            downstream_groups = [
+                groups[name] for name in self.topology.downstream(spec.name)
+            ]
+            recorder = None if downstream_groups else self._record_sink
+            controller = HybridController(
+                self.env,
+                self.cluster,
+                group,
+                group.router,
+                executor_factory=self._make_hybrid_factory(
+                    spec, downstream_groups, recorder
+                ),
+                interval=self.config.hybrid_interval,
+                scheduler=self.scheduler,
+            )
+            upstream_instances: typing.List[typing.Any] = []
+            for upstream_name in self.topology.upstream(spec.name):
+                if upstream_name == self._source_name:
+                    upstream_instances.extend(self.sources)
+                else:
+                    upstream_instances.extend(
+                        self.executors_by_operator[upstream_name]
+                    )
+            controller.connect_upstreams(upstream_instances)
+            controller.start()
+            self.hybrid_controllers[spec.name] = controller
+
+    def _make_hybrid_factory(self, spec, downstream_groups, recorder):
+        def factory(index: int, node: int) -> ElasticExecutor:
+            executor = ElasticExecutor(
+                self.env, self.cluster, spec, index=index, local_node=node,
+                logic=copy.deepcopy(spec.logic),
+                config=self.config.executor,
+                reassignment_stats=self.reassignment_stats,
+            )
+            executor.connect(downstream_groups, recorder)
+            self.cluster.cores.allocate(executor.name, node, 1)
+            executor.start(initial_cores=1)
+            self.executors_by_operator[spec.name].append(executor)
+            return executor
+
+        return factory
+
+    def _place_on_free_cores(self, count: int) -> typing.List[int]:
+        """Round-robin node placement that respects remaining free cores.
+
+        Only plans the placement — the caller (executor bootstrap) performs
+        the actual :class:`CoreManager` allocations in the same order.
+        """
+        free = self.cluster.cores.free_by_node()
+        node_ids = sorted(free)
+        nodes: typing.List[int] = []
+        cursor = 0
+        while len(nodes) < count:
+            if all(remaining == 0 for remaining in free.values()):
+                raise ValueError(
+                    f"cannot place {count} executors: only {len(nodes)} free cores"
+                )
+            node = node_ids[cursor % len(node_ids)]
+            cursor += 1
+            if free[node] > 0:
+                free[node] -= 1
+                nodes.append(node)
+        return nodes
+
+    def _static_executor_count(
+        self, num_operators: int, name: str, specs
+    ) -> int:
+        if self.config.static_executors_per_operator is not None:
+            return self.config.static_executors_per_operator
+        budget = self.config.total_cores - self.config.source_instances
+        weights = self.config.static_weights
+        if weights:
+            total_weight = sum(weights.get(s.name, 1.0) for s in specs)
+            share = weights.get(name, 1.0) / total_weight
+            return max(1, int(budget * share))
+        return max(1, budget // num_operators)
+
+    def _make_rc_policy(self, manager: RCOperatorManager):
+        """Same M/M/k model as Elasticutor, applied per RC operator.
+
+        Scale-in is damped (3 consecutive below-target rounds) so that
+        measurement noise does not trigger a full global repartitioning
+        every interval — mirroring the elastic scheduler's damping.
+        """
+        latency_target = self.config.latency_target
+        state = {"below_rounds": 0, "round": 0, "last_congested": -(10**9)}
+
+        def policy(mgr: RCOperatorManager) -> int:
+            now = self.env.now
+            state["round"] += 1
+            lam = mgr.arrival_rate(now) * 1.2  # θ imbalance headroom
+            mu = mgr.service_rate()
+            congested = any(
+                ex.input_queue.pending_puts > 0 for ex in mgr.executors
+            )
+            if congested:
+                state["last_congested"] = state["round"]
+                lam = max(lam, len(mgr.executors) * mu * 1.5)
+            k = MMKModel.min_stable_cores(lam, mu)
+            budget = len(mgr.executors) + self.cluster.cores.total_free
+            while (
+                k < budget
+                and MMKModel.mean_sojourn(lam, mu, k) > latency_target
+            ):
+                k += 1
+            target = max(1, min(k, budget))
+            current = len(mgr.executors)
+            if target < current:
+                # Shrinking an RC operator costs a full global repartition;
+                # hold steady after recent congestion and demand several
+                # consecutive below-target rounds (see DynamicScheduler).
+                recently_congested = (
+                    state["round"] - state["last_congested"] <= 10
+                )
+                state["below_rounds"] += 1
+                if recently_congested or state["below_rounds"] < 5:
+                    return current
+            else:
+                state["below_rounds"] = 0
+            return target
+
+        return policy
+
+    # -- measurement ---------------------------------------------------------
+
+    def _record_sink(self, batch, now: float) -> None:
+        self.sink_completions.record(now, batch.count)
+        if batch.trace is not None:
+            self.traces.append(dict(batch.trace))
+        if now >= self._warmup:
+            self.sink_latency.record(max(0.0, now - batch.created_at))
+            admitted = (
+                batch.admitted_at if batch.admitted_at is not None else batch.created_at
+            )
+            self.sink_residence.record(max(0.0, now - admitted))
+
+    def operator_summary(self) -> typing.List[typing.Dict[str, typing.Any]]:
+        """Per-operator snapshot: executors, cores, work done, latency.
+
+        Useful for diagnosing multi-operator topologies (which operator is
+        the bottleneck, where the scheduler put the cores).
+        """
+        now = self.env.now
+        rows = []
+        for name, executors in self.executors_by_operator.items():
+            cores = sum(
+                getattr(ex, "num_cores", 1) for ex in executors
+            )
+            rows.append(
+                {
+                    "operator": name,
+                    "executors": len(executors),
+                    "cores": cores,
+                    "processed_tuples": sum(
+                        ex.metrics.processed_tuples.total for ex in executors
+                    ),
+                    "arrival_rate": sum(
+                        ex.metrics.arrival_rate(now) for ex in executors
+                    ),
+                    "mean_latency": (
+                        sum(ex.metrics.queue_latency.mean for ex in executors)
+                        / len(executors)
+                    ),
+                }
+            )
+        return rows
+
+    def _sampler(self) -> typing.Generator:
+        """Instantaneous system throughput.
+
+        Measured at the sources: under backpressure, admission equals the
+        rate the system sustains end-to-end, and the counter survives
+        executor churn (RC creates and deletes executors at runtime).
+        """
+        last_total = 0
+        while True:
+            yield self.env.timeout(self.config.sample_interval)
+            total = sum(source.emitted_tuples for source in self.sources)
+            rate = (total - last_total) / self.config.sample_interval
+            last_total = total
+            self.throughput_series.record(self.env.now, rate)
+
+    # -- running ---------------------------------------------------------------
+
+    def run(
+        self, duration: float, warmup: typing.Optional[float] = None
+    ) -> SystemResult:
+        """Drive the workload for ``duration`` simulated seconds."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self._warmup = duration * 0.25 if warmup is None else warmup
+        if hasattr(self.workload, "start_dynamics"):
+            self.workload.start_dynamics(self.env)
+        for i, source in enumerate(self.sources):
+            source.start(
+                self.workload.schedule(
+                    self.env, i, len(self.sources), duration=duration
+                )
+            )
+        self.env.process(self._sampler())
+        self.env.run(until=duration)
+        return self.result(duration)
+
+    def result(self, duration: float) -> SystemResult:
+        executors = self.executors_by_operator[self._measure_operator]
+        processed = sum(ex.metrics.processed_tuples.total for ex in executors)
+        window = max(duration - self._warmup, 1e-9)
+        measured = sum(
+            value
+            for time, value in zip(
+                self.throughput_series.times, self.throughput_series.values
+            )
+            if time > self._warmup
+        ) * self.config.sample_interval
+        network = self.cluster.network.bytes_by_purpose
+        report = self.scheduler.report if self.scheduler else None
+        return SystemResult(
+            paradigm=self.config.paradigm,
+            duration=duration,
+            warmup=self._warmup,
+            throughput_tps=measured / window,
+            latency=self.sink_latency.snapshot(),
+            residence=self.sink_residence.snapshot(),
+            throughput_series=self.throughput_series,
+            sink_completions=self.sink_completions,
+            migration_bytes=network[TransferPurpose.STATE_MIGRATION].total,
+            remote_task_bytes=network[TransferPurpose.REMOTE_TASK].total,
+            stream_bytes=network[TransferPurpose.STREAM].total,
+            reassignment_stats=self.reassignment_stats,
+            scheduler_rounds=len(report.rounds) if report else 0,
+            scheduler_mean_wall_seconds=(
+                report.mean_wall_seconds if report else 0.0
+            ),
+            generated_tuples=getattr(self.workload, "generated_tuples", 0),
+            processed_tuples=processed,
+            traces=list(self.traces),
+        )

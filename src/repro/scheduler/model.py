@@ -1,0 +1,92 @@
+"""Queueing-theory performance model (paper §4.1).
+
+Each executor j is modeled as an M/M/k_j queue; the topology is a Jackson
+network, so the mean end-to-end latency decomposes as
+
+    E[T](k) = (1/λ0) Σ_j λ_j E[T_j](k_j)                      (Eq. 1)
+
+with E[T_j] finite only when k_j > λ_j/µ_j.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+def erlang_c(servers: int, offered_load: float) -> float:
+    """Probability that an arrival must wait in an M/M/k queue.
+
+    ``offered_load`` is a = λ/µ (in Erlangs).  Computed via the numerically
+    stable Erlang-B recurrence.  Returns 1.0 for an unstable queue (a >= k).
+    """
+    if servers < 1:
+        raise ValueError(f"servers must be >= 1, got {servers}")
+    if offered_load < 0:
+        raise ValueError(f"offered load must be >= 0, got {offered_load}")
+    if offered_load == 0:
+        return 0.0
+    if offered_load >= servers:
+        return 1.0
+    blocking = 1.0  # Erlang B with 0 servers
+    for i in range(1, servers + 1):
+        blocking = offered_load * blocking / (i + offered_load * blocking)
+    return servers * blocking / (servers - offered_load * (1.0 - blocking))
+
+
+class MMKModel:
+    """Mean sojourn time of one M/M/k executor."""
+
+    @staticmethod
+    def min_stable_cores(arrival_rate: float, service_rate: float) -> int:
+        """⌊λ/µ⌋ + 1: the smallest k that keeps the queue stable."""
+        if service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {service_rate}")
+        if arrival_rate < 0:
+            raise ValueError(f"arrival rate must be >= 0, got {arrival_rate}")
+        return int(math.floor(arrival_rate / service_rate)) + 1
+
+    @staticmethod
+    def mean_sojourn(arrival_rate: float, service_rate: float, cores: int) -> float:
+        """E[T_j](k_j) = 1/µ + C(k, λ/µ) / (kµ - λ); inf when unstable."""
+        if cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        if service_rate <= 0:
+            raise ValueError(f"service rate must be positive, got {service_rate}")
+        if arrival_rate < 0:
+            raise ValueError(f"arrival rate must be >= 0, got {arrival_rate}")
+        if arrival_rate == 0:
+            return 1.0 / service_rate
+        offered = arrival_rate / service_rate
+        if offered >= cores:
+            return math.inf
+        wait_probability = erlang_c(cores, offered)
+        return 1.0 / service_rate + wait_probability / (
+            cores * service_rate - arrival_rate
+        )
+
+
+class JacksonNetworkModel:
+    """Eq. 1: end-to-end mean latency of the executor network."""
+
+    def __init__(self, source_rate: float) -> None:
+        if source_rate <= 0:
+            raise ValueError(f"source rate must be positive, got {source_rate}")
+        self.source_rate = source_rate
+
+    def mean_latency(
+        self,
+        arrival_rates: typing.Sequence[float],
+        service_rates: typing.Sequence[float],
+        cores: typing.Sequence[int],
+    ) -> float:
+        """E[T](k); ``inf`` if any executor is unstable."""
+        if not len(arrival_rates) == len(service_rates) == len(cores):
+            raise ValueError("rate/core vectors must have equal length")
+        total = 0.0
+        for rate, mu, k in zip(arrival_rates, service_rates, cores):
+            sojourn = MMKModel.mean_sojourn(rate, mu, k)
+            if math.isinf(sojourn):
+                return math.inf
+            total += rate * sojourn
+        return total / self.source_rate

@@ -1,0 +1,93 @@
+"""The simulation environment: virtual clock plus event queue."""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process
+
+
+class Environment:
+    """Owns virtual time and drives event processing.
+
+    Events scheduled at equal times are processed in schedule order
+    (FIFO tie-breaking via a sequence counter), which makes every run
+    deterministic.
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list = []
+        self._seq = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, in seconds."""
+        return self._now
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0) -> None:
+        """Queue a triggered event for processing ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        self._seq += 1
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` when idle."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no scheduled events")
+        self._now, _, event = heapq.heappop(self._queue)
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+
+    def run(self, until: typing.Optional[float] = None) -> None:
+        """Run until the queue drains, or until virtual time ``until``.
+
+        When ``until`` is given, all events scheduled at or before that time
+        are processed and the clock is left at exactly ``until``.
+        """
+        if until is None:
+            while self._queue:
+                self.step()
+            return
+        until = float(until)
+        if until < self._now:
+            raise SimulationError(
+                f"cannot run to {until}: already at {self._now}"
+            )
+        while self._queue and self._queue[0][0] <= until:
+            self.step()
+        self._now = until
+
+    # -- event factories --------------------------------------------------
+
+    def event(self) -> Event:
+        """A fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: typing.Any = None) -> Timeout:
+        """An event firing ``delay`` seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: typing.Generator) -> Process:
+        """Start a new process from a generator of events."""
+        return Process(self, generator)
+
+    def all_of(self, events: typing.Iterable[Event]) -> AllOf:
+        """An event that fires once all ``events`` have succeeded."""
+        return AllOf(self, events)
+
+    def any_of(self, events: typing.Iterable[Event]) -> AnyOf:
+        """An event that fires once any of ``events`` has succeeded."""
+        return AnyOf(self, events)

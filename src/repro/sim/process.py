@@ -1,0 +1,80 @@
+"""Generator-based simulation processes."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.events import Event, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class ProcessCrash(SimulationError):
+    """Raised when a process dies with an unhandled exception."""
+
+
+class Process(Event):
+    """A coroutine of events.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    suspends until each yielded event is processed, then resumes with the
+    event's value (or has the exception thrown in, if the event failed).
+    A :class:`Process` is itself an event that fires when the generator
+    returns, so processes can wait on each other.
+
+    An unhandled exception inside a process fails the process event; if no
+    other process is waiting on it by then, the exception propagates out of
+    :meth:`Environment.run` wrapped in :class:`ProcessCrash` — crashes are
+    never silent.
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, env: "Environment", generator: typing.Generator) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._waiting_on: typing.Optional[Event] = None
+        bootstrap = Event(env)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        env.schedule(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        while True:
+            try:
+                if event.ok:
+                    target = self._generator.send(event.value)
+                else:
+                    target = self._generator.throw(event.value)
+            except StopIteration as exc:
+                self.succeed(exc.value)
+                return
+            except BaseException as exc:  # noqa: BLE001 - deliberate crash path
+                if self.callbacks:
+                    self.fail(exc)
+                    return
+                name = getattr(self._generator, "__name__", repr(self._generator))
+                raise ProcessCrash(
+                    f"process {name} crashed at t={self.env.now}: {exc!r}"
+                ) from exc
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process yielded {target!r}; only events may be yielded"
+                )
+            if target.processed:
+                # Already fired: consume its value synchronously and continue.
+                event = target
+                continue
+            self._waiting_on = target
+            target.callbacks.append(self._resume)
+            return

@@ -1,0 +1,57 @@
+"""A counted resource (semaphore) over virtual time."""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.sim.events import Event, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class Resource:
+    """``capacity`` interchangeable slots, granted in FIFO request order.
+
+    Used for serialized resources such as a node's state-store write lock.
+    Network links use an analytic FIFO model instead (see
+    :mod:`repro.cluster.network`) to keep event counts low.
+    """
+
+    def __init__(self, env: "Environment", capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: collections.deque = collections.deque()
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._waiters)
+
+    def request(self) -> Event:
+        """The returned event fires when a slot is granted."""
+        event = Event(self.env)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Return a slot, handing it to the next waiter if any."""
+        if self._in_use == 0:
+            raise SimulationError("release() without a matching request()")
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            self._in_use -= 1

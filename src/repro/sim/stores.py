@@ -1,0 +1,90 @@
+"""Bounded FIFO channels — the backpressure primitive.
+
+Every queue in the reproduced system (task pending queues, executor input
+queues, operator channels) is a :class:`Store`.  A full store blocks the
+producer's ``put`` event, which is exactly how backpressure propagates from
+an overloaded task all the way back to the workload generator — the same
+mechanism Storm's max-pending provides in the paper's prototype.
+"""
+
+from __future__ import annotations
+
+import collections
+import math
+import typing
+
+from repro.sim.events import Event, SimulationError
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.environment import Environment
+
+
+class StoreFull(SimulationError):
+    """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
+
+
+class Store:
+    """A FIFO item channel with optional capacity.
+
+    ``put`` and ``get`` return events.  Puts beyond capacity and gets on an
+    empty store queue up and are served in FIFO order, which preserves tuple
+    ordering — a correctness requirement for stateful stream processing
+    (same-key tuples must be processed in arrival order).
+    """
+
+    def __init__(self, env: "Environment", capacity: float = math.inf) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"store capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._items: collections.deque = collections.deque()
+        self._put_waiters: collections.deque = collections.deque()
+        self._get_waiters: collections.deque = collections.deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def items(self) -> tuple:
+        """Snapshot of buffered items (for inspection/tests)."""
+        return tuple(self._items)
+
+    @property
+    def pending_puts(self) -> int:
+        """Number of producers currently blocked on a full store."""
+        return len(self._put_waiters)
+
+    def put(self, item: typing.Any) -> Event:
+        """Add ``item``; the returned event fires once the item is accepted."""
+        event = Event(self.env)
+        self._put_waiters.append((event, item))
+        self._dispatch()
+        return event
+
+    def put_nowait(self, item: typing.Any) -> None:
+        """Add ``item`` immediately or raise :class:`StoreFull`."""
+        if len(self._items) >= self.capacity:
+            raise StoreFull(f"store at capacity {self.capacity}")
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> Event:
+        """The returned event fires with the next item in FIFO order."""
+        event = Event(self.env)
+        self._get_waiters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            while self._put_waiters and len(self._items) < self.capacity:
+                event, item = self._put_waiters.popleft()
+                self._items.append(item)
+                event.succeed()
+                progressed = True
+            while self._get_waiters and self._items:
+                event = self._get_waiters.popleft()
+                event.succeed(self._items.popleft())
+                progressed = True

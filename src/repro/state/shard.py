@@ -1,0 +1,36 @@
+"""Shard state: the unit of load balancing and migration."""
+
+from __future__ import annotations
+
+import typing
+
+
+class ShardState:
+    """State of one shard (a mini-partition of an executor's key subspace).
+
+    ``data`` is the per-key store user logic reads and writes through
+    :class:`repro.logic.base.StateAccess`.  ``nominal_bytes`` is the
+    footprint used by the migration cost model — the paper's experiments
+    parameterize shard state size directly (32 KB default, up to 32 MB),
+    so the footprint is explicit rather than estimated from ``data``.
+    """
+
+    __slots__ = ("shard_id", "nominal_bytes", "data")
+
+    def __init__(self, shard_id: int, nominal_bytes: int = 32 * 1024) -> None:
+        if nominal_bytes < 0:
+            raise ValueError(f"nominal_bytes must be >= 0, got {nominal_bytes}")
+        self.shard_id = shard_id
+        self.nominal_bytes = nominal_bytes
+        self.data: typing.Dict[int, typing.Any] = {}
+
+    def resize(self, nominal_bytes: int) -> None:
+        if nominal_bytes < 0:
+            raise ValueError(f"nominal_bytes must be >= 0, got {nominal_bytes}")
+        self.nominal_bytes = nominal_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardState(id={self.shard_id}, bytes={self.nominal_bytes}, "
+            f"keys={len(self.data)})"
+        )

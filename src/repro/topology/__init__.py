@@ -1,0 +1,26 @@
+"""Stream topology model: operators, DAG wiring, tuples and key spaces.
+
+A user application is a directed acyclic graph of operators (the paper's
+"topology").  Each operator has user-defined processing logic, a key space
+partitioned statically across its executors, and — under Elasticutor — a
+further hash partition of each executor's key subspace into shards.
+"""
+
+from repro.topology.keys import KeySpace, executor_of_key, shard_of_key, stable_hash
+from repro.topology.operator import OperatorSpec
+from repro.topology.batch import Emission, LabelTuple, TupleBatch
+from repro.topology.graph import Topology, TopologyBuilder, TopologyError
+
+__all__ = [
+    "Emission",
+    "KeySpace",
+    "LabelTuple",
+    "OperatorSpec",
+    "Topology",
+    "TopologyBuilder",
+    "TopologyError",
+    "TupleBatch",
+    "executor_of_key",
+    "shard_of_key",
+    "stable_hash",
+]

@@ -1,0 +1,91 @@
+"""Tuple batches — the unit of dataflow in the simulation.
+
+Per-tuple events would make large experiments intractable in Python, so
+contiguous same-key tuples are modeled as one :class:`TupleBatch` carrying a
+count.  All routing decisions are per key, so batching same-key tuples
+changes neither routing nor ordering semantics; latency is recorded per
+batch against the batch's creation time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+_batch_ids = itertools.count()
+
+
+@dataclasses.dataclass
+class TupleBatch:
+    """``count`` consecutive tuples sharing one key.
+
+    ``cpu_cost`` is seconds of CPU per tuple; ``size_bytes`` is the wire
+    size per tuple.  ``created_at`` is the source-side creation time used
+    for end-to-end latency; it is preserved across operators so latency is
+    measured over the whole pipeline.
+    """
+
+    key: int
+    count: int
+    cpu_cost: float
+    size_bytes: int
+    created_at: float
+    payload: typing.Any = None
+    #: When the batch actually entered the system (stamped by the source
+    #: at emission).  ``now - admitted_at`` is the paper's *processing
+    #: latency* (residence time); ``now - created_at`` additionally counts
+    #: schedule lag when the source fell behind its nominal arrival times.
+    admitted_at: typing.Optional[float] = None
+    #: Optional latency-breakdown trace (sampled batches only): stage-name
+    #: -> timestamp, carried across operators so a sink sees the full path.
+    trace: typing.Optional[typing.Dict[str, float]] = None
+    batch_id: int = dataclasses.field(default_factory=lambda: next(_batch_ids))
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"batch count must be >= 1, got {self.count}")
+        if self.cpu_cost < 0:
+            raise ValueError(f"cpu_cost must be >= 0, got {self.cpu_cost}")
+        if self.size_bytes < 0:
+            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.count * self.size_bytes
+
+    @property
+    def total_cpu_cost(self) -> float:
+        return self.count * self.cpu_cost
+
+
+@dataclasses.dataclass
+class Emission:
+    """What operator logic emits downstream for one processed batch.
+
+    The runtime turns each emission into a :class:`TupleBatch` per
+    downstream operator, keeping the upstream batch's ``created_at``.
+    """
+
+    key: int
+    count: int
+    size_bytes: int
+    payload: typing.Any = None
+
+
+class LabelTuple:
+    """The drain marker of the consistent-reassignment protocol.
+
+    Enqueued into a task's pending queue behind all in-flight tuples of a
+    shard; because tasks serve FIFO, when the task dequeues the label every
+    previously-routed tuple of that shard has been processed (paper §3.3).
+    """
+
+    __slots__ = ("shard_id", "event")
+
+    def __init__(self, shard_id: int, event) -> None:
+        self.shard_id = shard_id
+        self.event = event
+
+    def __repr__(self) -> str:
+        return f"LabelTuple(shard={self.shard_id})"

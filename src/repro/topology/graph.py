@@ -1,0 +1,137 @@
+"""The topology DAG and its builder."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.topology.operator import OperatorSpec
+
+
+class TopologyError(ValueError):
+    """Raised for malformed topologies (cycles, dangling edges, ...)."""
+
+
+class Topology:
+    """A validated DAG of operators.
+
+    Edges carry key-grouped streams: every output tuple of the upstream
+    operator is routed to the downstream executor owning the tuple's key.
+    """
+
+    def __init__(
+        self,
+        operators: typing.Dict[str, OperatorSpec],
+        edges: typing.List[typing.Tuple[str, str]],
+    ) -> None:
+        self.operators = dict(operators)
+        self.edges = list(edges)
+        self._downstream: typing.Dict[str, typing.List[str]] = {
+            name: [] for name in self.operators
+        }
+        self._upstream: typing.Dict[str, typing.List[str]] = {
+            name: [] for name in self.operators
+        }
+        for src, dst in self.edges:
+            if src not in self.operators:
+                raise TopologyError(f"edge references unknown operator {src!r}")
+            if dst not in self.operators:
+                raise TopologyError(f"edge references unknown operator {dst!r}")
+            if dst == src:
+                raise TopologyError(f"self-loop on {src!r}")
+            self._downstream[src].append(dst)
+            self._upstream[dst].append(src)
+        self._order = self._topological_order()
+        for name, spec in self.operators.items():
+            if spec.is_source and self._upstream[name]:
+                raise TopologyError(f"source {name!r} cannot have upstream edges")
+            if not spec.is_source and not self._upstream[name]:
+                raise TopologyError(f"non-source {name!r} has no upstream edges")
+        if not self.sources():
+            raise TopologyError("topology has no source operators")
+
+    def _topological_order(self) -> typing.List[str]:
+        in_degree = {name: len(self._upstream[name]) for name in self.operators}
+        ready = sorted(name for name, deg in in_degree.items() if deg == 0)
+        order: typing.List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for downstream in self._downstream[name]:
+                in_degree[downstream] -= 1
+                if in_degree[downstream] == 0:
+                    ready.append(downstream)
+        if len(order) != len(self.operators):
+            raise TopologyError("topology contains a cycle")
+        return order
+
+    # -- queries ----------------------------------------------------------
+
+    def __iter__(self) -> typing.Iterator[OperatorSpec]:
+        """Operators in topological order."""
+        return (self.operators[name] for name in self._order)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.operators
+
+    def spec(self, name: str) -> OperatorSpec:
+        return self.operators[name]
+
+    def downstream(self, name: str) -> typing.List[str]:
+        return list(self._downstream[name])
+
+    def upstream(self, name: str) -> typing.List[str]:
+        return list(self._upstream[name])
+
+    def sources(self) -> typing.List[str]:
+        return [name for name, spec in self.operators.items() if spec.is_source]
+
+    def sinks(self) -> typing.List[str]:
+        """Operators with no downstream edges."""
+        return [name for name in self.operators if not self._downstream[name]]
+
+
+class TopologyBuilder:
+    """Fluent construction of a :class:`Topology`.
+
+    Mirrors Storm's TopologyBuilder: declare sources and operators, wire
+    key-grouped edges, then :meth:`build`.
+
+    Example::
+
+        builder = TopologyBuilder()
+        builder.add_source("generator", key_space=KeySpace(10_000))
+        builder.add_operator("calculator", logic, upstream=["generator"])
+        topology = builder.build()
+    """
+
+    def __init__(self) -> None:
+        self._operators: typing.Dict[str, OperatorSpec] = {}
+        self._edges: typing.List[typing.Tuple[str, str]] = []
+
+    def add_source(self, name: str, **spec_kwargs: typing.Any) -> "TopologyBuilder":
+        """Declare a source operator, driven by a workload generator."""
+        self._add(OperatorSpec(name=name, is_source=True, **spec_kwargs))
+        return self
+
+    def add_operator(
+        self,
+        name: str,
+        logic: typing.Any,
+        upstream: typing.Sequence[str],
+        **spec_kwargs: typing.Any,
+    ) -> "TopologyBuilder":
+        """Declare a processing operator fed by the ``upstream`` operators."""
+        if not upstream:
+            raise TopologyError(f"operator {name!r} needs at least one upstream")
+        self._add(OperatorSpec(name=name, logic=logic, **spec_kwargs))
+        for src in upstream:
+            self._edges.append((src, name))
+        return self
+
+    def _add(self, spec: OperatorSpec) -> None:
+        if spec.name in self._operators:
+            raise TopologyError(f"duplicate operator name {spec.name!r}")
+        self._operators[spec.name] = spec
+
+    def build(self) -> Topology:
+        return Topology(self._operators, self._edges)

@@ -1,0 +1,63 @@
+"""Deterministic key hashing and the two-tier key partition.
+
+Tier 1 (static, operator level): key -> executor.  Fixed for the lifetime
+of the topology under the executor-centric paradigm — this is what removes
+the need for global synchronization.
+
+Tier 2 (static hash, executor level): key -> shard within the executor.
+The shard-to-task mapping on top of this is dynamic (see
+:mod:`repro.executors.routing`).
+
+Python's builtin ``hash`` is salted per process, so we use a splitmix64
+finalizer for stable, well-mixed hashes across runs.
+"""
+
+from __future__ import annotations
+
+MASK64 = (1 << 64) - 1
+
+
+def stable_hash(key: int, salt: int = 0) -> int:
+    """A deterministic 64-bit mix of ``key`` (splitmix64 finalizer)."""
+    x = (key + salt * 0x9E3779B97F4A7C15) & MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & MASK64
+    return x ^ (x >> 31)
+
+
+#: Distinct salts keep the executor-level and shard-level partitions
+#: statistically independent; reusing one would alias hot keys.
+_EXECUTOR_SALT = 1
+_SHARD_SALT = 2
+
+
+def executor_of_key(key: int, num_executors: int) -> int:
+    """Tier-1 partition: which executor owns ``key``."""
+    if num_executors < 1:
+        raise ValueError(f"num_executors must be >= 1, got {num_executors}")
+    return stable_hash(key, _EXECUTOR_SALT) % num_executors
+
+
+def shard_of_key(key: int, num_shards: int) -> int:
+    """Tier-2 partition: which shard of its executor ``key`` lands in."""
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    return stable_hash(key, _SHARD_SALT) % num_shards
+
+
+class KeySpace:
+    """The integer key domain of an operator's input stream."""
+
+    def __init__(self, num_keys: int) -> None:
+        if num_keys < 1:
+            raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+        self.num_keys = num_keys
+
+    def __contains__(self, key: int) -> bool:
+        return 0 <= key < self.num_keys
+
+    def __iter__(self):
+        return iter(range(self.num_keys))
+
+    def __repr__(self) -> str:
+        return f"KeySpace({self.num_keys})"

@@ -1,0 +1,45 @@
+"""Operator specifications."""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.topology.keys import KeySpace
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.logic.base import OperatorLogic
+
+
+@dataclasses.dataclass
+class OperatorSpec:
+    """Declarative description of one operator.
+
+    ``num_executors`` is the paper's y (executors per operator) and
+    ``shards_per_executor`` is z (defaults y=32, z=256, i.e. 8192 shards
+    per operator).  For source operators ``logic`` is None — sources are
+    driven by a workload generator instead of by upstream tuples.
+    """
+
+    name: str
+    logic: typing.Optional["OperatorLogic"] = None
+    key_space: KeySpace = dataclasses.field(default_factory=lambda: KeySpace(10_000))
+    num_executors: int = 32
+    shards_per_executor: int = 256
+    is_source: bool = False
+    #: Initial per-shard state footprint in bytes (paper default 32 KB).
+    shard_state_bytes: int = 32 * 1024
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("operator name must be non-empty")
+        if self.num_executors < 1:
+            raise ValueError(f"{self.name}: num_executors must be >= 1")
+        if self.shards_per_executor < 1:
+            raise ValueError(f"{self.name}: shards_per_executor must be >= 1")
+        if not self.is_source and self.logic is None:
+            raise ValueError(f"{self.name}: non-source operators need logic")
+
+    @property
+    def total_shards(self) -> int:
+        return self.num_executors * self.shards_per_executor

@@ -1,0 +1,23 @@
+"""Workload generators.
+
+- :class:`ZipfKeyDistribution` + :class:`KeyShuffler`: the paper's
+  micro-benchmark key model — zipf(0.5) frequencies over 10K keys, with a
+  random permutation of key frequencies applied ω times per minute to
+  emulate workload dynamics.
+- :class:`MicroBenchmarkWorkload`: the generator→calculator topology of §5.1.
+- :class:`SSEWorkload`: a synthetic substitute for the proprietary
+  Shanghai Stock Exchange order trace of §5.4 (see DESIGN.md).
+"""
+
+from repro.workloads.zipf import KeyShuffler, ZipfKeyDistribution
+from repro.workloads.micro import MicroBenchmarkWorkload
+from repro.workloads.replay import RecordedWorkload
+from repro.workloads.sse import SSEWorkload
+
+__all__ = [
+    "KeyShuffler",
+    "MicroBenchmarkWorkload",
+    "RecordedWorkload",
+    "SSEWorkload",
+    "ZipfKeyDistribution",
+]

@@ -1,0 +1,118 @@
+"""The micro-benchmark workload (paper §5.1, Figure 5).
+
+Topology: generator -> calculator.  Tuples carry an integer key and a
+payload; the calculator charges a fixed CPU cost per tuple.  Defaults
+match the paper: 128-byte tuples, 1 ms/tuple, 10K keys, zipf(0.5),
+32 KB shard state.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.logic.base import SyntheticLogic
+from repro.sim import Environment
+from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
+from repro.workloads.zipf import KeyShuffler, ZipfKeyDistribution
+
+
+class MicroBenchmarkWorkload:
+    """Parameterizable generator→calculator workload."""
+
+    def __init__(
+        self,
+        rate: float = 20_000.0,
+        num_keys: int = 10_000,
+        skew: float = 0.5,
+        cost_per_tuple: float = 1e-3,
+        tuple_bytes: int = 128,
+        omega: float = 2.0,
+        batch_size: int = 20,
+        tick: float = 0.1,
+        seed: int = 42,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if tick <= 0:
+            raise ValueError("tick must be positive")
+        self.rate = rate
+        self.num_keys = num_keys
+        self.skew = skew
+        self.cost_per_tuple = cost_per_tuple
+        self.tuple_bytes = tuple_bytes
+        self.omega = omega
+        self.batch_size = batch_size
+        self.tick = tick
+        self.seed = seed
+        self.distribution = ZipfKeyDistribution(num_keys, skew, seed=seed)
+        self.generated_tuples = 0
+
+    def build_topology(
+        self,
+        executors_per_operator: int = 32,
+        shards_per_executor: int = 256,
+        shard_state_bytes: int = 32 * 1024,
+    ) -> Topology:
+        """The generator→calculator topology with the paper's defaults."""
+        builder = TopologyBuilder()
+        builder.add_source(
+            "generator",
+            key_space=KeySpace(self.num_keys),
+            num_executors=executors_per_operator,
+        )
+        builder.add_operator(
+            "calculator",
+            SyntheticLogic(selectivity=0.0, cost_per_tuple=self.cost_per_tuple),
+            upstream=["generator"],
+            key_space=KeySpace(self.num_keys),
+            num_executors=executors_per_operator,
+            shards_per_executor=shards_per_executor,
+            shard_state_bytes=shard_state_bytes,
+        )
+        return builder.build()
+
+    def start_dynamics(self, env: Environment) -> KeyShuffler:
+        """Begin the ω shuffles/minute process."""
+        shuffler = KeyShuffler(env, self.distribution, self.omega)
+        shuffler.start()
+        return shuffler
+
+    def schedule(
+        self, env: Environment, instance_index: int, num_instances: int,
+        duration: typing.Optional[float] = None,
+    ) -> typing.Iterator[typing.Tuple[float, TupleBatch]]:
+        """(emit_time, batch) stream for one source instance.
+
+        Lazy: each tick's keys are drawn when the instance reaches that
+        tick, so key shuffles apply to everything generated after them.
+        Batches carry their *nominal* creation time — under backpressure
+        the instance falls behind and the waiting inflates latency, like
+        an external arrival process.
+        """
+        if not 0 <= instance_index < num_instances:
+            raise ValueError("instance_index out of range")
+        per_instance_rate = self.rate / num_instances
+        tuples_per_tick = per_instance_rate * self.tick
+        carry = 0.0
+        tick_index = 0
+        while duration is None or tick_index * self.tick < duration:
+            tick_start = tick_index * self.tick
+            wanted = tuples_per_tick + carry
+            num_batches = int(wanted / self.batch_size)
+            carry = wanted - num_batches * self.batch_size
+            if num_batches > 0:
+                keys = self.distribution.sample(num_batches)
+                spacing = self.tick / num_batches
+                for j, key in enumerate(keys):
+                    created = tick_start + j * spacing
+                    self.generated_tuples += self.batch_size
+                    yield created, TupleBatch(
+                        key=key,
+                        count=self.batch_size,
+                        cpu_cost=self.cost_per_tuple,
+                        size_bytes=self.tuple_bytes,
+                        created_at=created,
+                    )
+            tick_index += 1

@@ -1,0 +1,150 @@
+"""Record-and-replay workloads for exactly-matched comparisons.
+
+Live workloads generate lazily: key shuffles apply at *pull* time, so a
+paradigm that falls behind sees a slightly different tuple stream than
+one that keeps up.  For strict A/B comparisons (and for regression
+archives), :class:`RecordedWorkload` pre-materializes every source
+instance's schedule on the nominal timeline once, then replays identical
+batches to every system under test.
+
+    recorded = RecordedWorkload.record(workload, num_instances=4, duration=60)
+    for paradigm in Paradigm:
+        system = StreamSystem(topology, recorded.fresh_copy(), config)
+        ...
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.sim import Environment
+from repro.topology.batch import TupleBatch
+
+
+@dataclasses.dataclass(frozen=True)
+class _RecordedBatch:
+    """Immutable template; each replay materializes fresh TupleBatches so
+    runs cannot contaminate each other through mutable batch fields."""
+
+    emit_time: float
+    key: int
+    count: int
+    cpu_cost: float
+    size_bytes: int
+    created_at: float
+    payload: typing.Any
+
+    def materialize(self) -> TupleBatch:
+        return TupleBatch(
+            key=self.key,
+            count=self.count,
+            cpu_cost=self.cpu_cost,
+            size_bytes=self.size_bytes,
+            created_at=self.created_at,
+            payload=self.payload,
+        )
+
+
+class RecordedWorkload:
+    """A fully materialized workload, replayable any number of times."""
+
+    def __init__(
+        self,
+        schedules: typing.Sequence[typing.Sequence[_RecordedBatch]],
+        generated_tuples: int,
+        source: typing.Any = None,
+    ) -> None:
+        if not schedules:
+            raise ValueError("need at least one instance schedule")
+        self._schedules = [list(schedule) for schedule in schedules]
+        self.generated_tuples = generated_tuples
+        #: The workload this recording came from (for provenance).
+        self.source = source
+
+    @property
+    def num_instances(self) -> int:
+        return len(self._schedules)
+
+    @classmethod
+    def record(
+        cls,
+        workload: typing.Any,
+        num_instances: int,
+        duration: float,
+    ) -> "RecordedWorkload":
+        """Materialize ``workload``'s schedules on the nominal timeline.
+
+        The recording environment's clock follows each batch's nominal
+        emit time, so time-varying behaviour (shuffles, bursts) lands
+        exactly where an unloaded system would see it.
+        """
+        if num_instances < 1:
+            raise ValueError("num_instances must be >= 1")
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        import heapq
+
+        env = Environment()
+        if hasattr(workload, "start_dynamics"):
+            workload.start_dynamics(env)
+        schedules: typing.List[typing.List[_RecordedBatch]] = [
+            [] for _ in range(num_instances)
+        ]
+        total = 0
+        # Merge the instances' streams by emit time: the shared virtual
+        # clock must advance monotonically so lazy workload dynamics (the
+        # shuffler, bursts) fire exactly once, on schedule, for everyone.
+        iterators = [
+            workload.schedule(env, index, num_instances, duration=duration)
+            for index in range(num_instances)
+        ]
+        heap: typing.List[typing.Tuple[float, int, typing.Any]] = []
+        for index, iterator in enumerate(iterators):
+            head = next(iterator, None)
+            if head is not None:
+                heapq.heappush(heap, (head[0], index, head[1]))
+        while heap:
+            emit_time, index, batch = heapq.heappop(heap)
+            if emit_time > env.now:
+                env.run(until=emit_time)
+            schedules[index].append(
+                _RecordedBatch(
+                    emit_time=emit_time,
+                    key=batch.key,
+                    count=batch.count,
+                    cpu_cost=batch.cpu_cost,
+                    size_bytes=batch.size_bytes,
+                    created_at=batch.created_at,
+                    payload=batch.payload,
+                )
+            )
+            total += batch.count
+            head = next(iterators[index], None)
+            if head is not None:
+                heapq.heappush(heap, (head[0], index, head[1]))
+        return cls(schedules, generated_tuples=total, source=workload)
+
+    def schedule(
+        self,
+        env: Environment,
+        instance_index: int,
+        num_instances: int,
+        duration: typing.Optional[float] = None,
+    ) -> typing.Iterator[typing.Tuple[float, TupleBatch]]:
+        """Replay one instance's recording (StreamSystem-compatible)."""
+        if num_instances != self.num_instances:
+            raise ValueError(
+                f"recorded for {self.num_instances} instances, "
+                f"asked to replay as {num_instances}"
+            )
+        for recorded in self._schedules[instance_index]:
+            if duration is not None and recorded.emit_time >= duration:
+                break
+            yield recorded.emit_time, recorded.materialize()
+
+    def fresh_copy(self) -> "RecordedWorkload":
+        """A replayer sharing the recording (recordings are immutable)."""
+        return RecordedWorkload(
+            self._schedules, self.generated_tuples, source=self.source
+        )

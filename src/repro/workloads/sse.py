@@ -1,0 +1,292 @@
+"""Synthetic Shanghai-Stock-Exchange workload (paper §5.4).
+
+The paper uses a proprietary trace of limit orders (three months,
+~8M records per trading hour, 96-byte orders) whose per-stock arrival
+rates fluctuate heavily (Figure 15).  This generator reproduces the
+trace's relevant structure:
+
+- stock popularity follows a zipf distribution;
+- each stock's rate drifts as a bounded geometric random walk and
+  occasionally *bursts* (5-20x for tens of seconds) — giving the spiky
+  per-stock rate curves of Figure 15;
+- orders are limit orders with bid/ask prices around a per-stock
+  reference price, so the real order-book transactor produces plausible
+  match rates.
+
+Topology: orders -> transactor -> 6 statistics + 5 event operators,
+keyed by stock id throughout.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import typing
+
+from repro.logic import (
+    CompositeIndexLogic,
+    FraudDetectionLogic,
+    MovingAverageLogic,
+    PriceAlarmLogic,
+    TradeStatisticsLogic,
+    TransactorLogic,
+)
+from repro.logic.orderbook import BUY, ORDER_BYTES, SELL, LimitOrder
+from repro.sim import Environment
+from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
+
+
+class SSEWorkload:
+    """Synthetic order stream plus the market-clearing/analytics topology."""
+
+    #: The six statistics operators and five event operators of Figure 14.
+    STATISTICS_OPERATORS = (
+        "moving_average", "minute_bars", "vwap", "volume_stats",
+        "turnover_stats", "composite_index",
+    )
+    EVENT_OPERATORS = (
+        "price_alarm", "circuit_breaker", "volume_spike", "fraud_detection",
+        "momentum",
+    )
+
+    def __init__(
+        self,
+        rate: float = 20_000.0,
+        num_stocks: int = 500,
+        popularity_skew: float = 0.7,
+        order_cost: float = 1e-3,
+        analytics_cost: float = 0.05e-3,
+        match_ratio: float = 0.7,
+        batch_size: int = 10,
+        tick: float = 0.1,
+        drift_sigma: float = 0.12,
+        burst_probability: float = 0.01,
+        burst_magnitude: float = 8.0,
+        burst_decay: float = 0.92,
+        real_payloads: bool = False,
+        seed: int = 7,
+    ) -> None:
+        if rate <= 0 or num_stocks < 1 or batch_size < 1 or tick <= 0:
+            raise ValueError("invalid workload parameters")
+        self.rate = rate
+        self.num_stocks = num_stocks
+        self.order_cost = order_cost
+        self.analytics_cost = analytics_cost
+        self.match_ratio = match_ratio
+        self.batch_size = batch_size
+        self.tick = tick
+        self.drift_sigma = drift_sigma
+        self.burst_probability = burst_probability
+        self.burst_magnitude = burst_magnitude
+        self.burst_decay = burst_decay
+        self.real_payloads = real_payloads
+        self._rng = random.Random(seed)
+        self._order_rng = random.Random(seed + 1)
+        weights = [1.0 / (rank ** popularity_skew) for rank in range(1, num_stocks + 1)]
+        total = sum(weights)
+        self.popularity = [w / total for w in weights]
+        # Stock 0 is the most popular, 1 next, etc. (ids are ranks).
+        self._multiplier = [1.0] * num_stocks
+        self._burst = [0.0] * num_stocks
+        self._advanced_ticks = 0
+        self._tick_weights: typing.List[typing.List[float]] = []
+        self._reference_price = [
+            10.0 + 90.0 * self._rng.random() for _ in range(num_stocks)
+        ]
+        self._next_order_id = 0
+        self.generated_tuples = 0
+        #: tick index -> {stock: tuples generated} (drives Figure 15).
+        self.arrival_counts: typing.Dict[int, typing.Dict[int, int]] = {}
+
+    # -- time-varying rates -------------------------------------------------
+
+    def _advance_to(self, tick_index: int) -> None:
+        """Advance the per-stock rate processes up to ``tick_index``."""
+        while self._advanced_ticks <= tick_index:
+            rng = self._rng
+            for stock in range(self.num_stocks):
+                self._multiplier[stock] *= math.exp(
+                    rng.gauss(0.0, self.drift_sigma * math.sqrt(self.tick))
+                )
+                self._multiplier[stock] = min(5.0, max(0.2, self._multiplier[stock]))
+                if self._burst[stock] > 0.05:
+                    self._burst[stock] *= self.burst_decay ** self.tick
+                else:
+                    self._burst[stock] = 0.0
+                if rng.random() < self.burst_probability * self.tick:
+                    self._burst[stock] = self.burst_magnitude * (0.5 + rng.random())
+            weights = [
+                self.popularity[s] * self._multiplier[s] * (1.0 + self._burst[s])
+                for s in range(self.num_stocks)
+            ]
+            self._tick_weights.append(weights)
+            self._advanced_ticks += 1
+
+    def stock_weights(self, tick_index: int) -> typing.List[float]:
+        self._advance_to(tick_index)
+        return self._tick_weights[tick_index]
+
+    def stock_rate(self, stock: int, tick_index: int) -> float:
+        """Instantaneous arrival rate of one stock (tuples/s)."""
+        weights = self.stock_weights(tick_index)
+        total = sum(weights)
+        if total == 0:
+            return 0.0
+        return self.rate * weights[stock] / total
+
+    # -- order synthesis ------------------------------------------------------
+
+    def _make_orders(self, stock: int, count: int, time: float) -> typing.List[LimitOrder]:
+        rng = self._order_rng
+        reference = self._reference_price[stock]
+        # Reference price itself random-walks slowly.
+        reference *= math.exp(rng.gauss(0.0, 0.001))
+        self._reference_price[stock] = max(1.0, reference)
+        orders = []
+        for _ in range(count):
+            side = BUY if rng.random() < 0.5 else SELL
+            # Buyers bid slightly below/above reference, sellers mirror it;
+            # the overlap yields a realistic partial match rate.
+            offset = rng.gauss(0.0, 0.005) + (0.002 if side == BUY else -0.002)
+            price = round(max(0.01, reference * (1.0 + offset)), 2)
+            self._next_order_id += 1
+            orders.append(
+                LimitOrder(
+                    order_id=self._next_order_id,
+                    user_id=rng.randrange(10_000),
+                    stock_id=stock,
+                    side=side,
+                    price=price,
+                    volume=rng.choice((100, 200, 300, 500, 1000)),
+                    time=time,
+                )
+            )
+        return orders
+
+    # -- schedule -------------------------------------------------------------
+
+    def schedule(
+        self,
+        env: Environment,
+        instance_index: int,
+        num_instances: int,
+        duration: typing.Optional[float] = None,
+    ) -> typing.Iterator[typing.Tuple[float, TupleBatch]]:
+        """(emit_time, order batch) stream for one source instance."""
+        if not 0 <= instance_index < num_instances:
+            raise ValueError("instance_index out of range")
+        per_instance_rate = self.rate / num_instances
+        tuples_per_tick = per_instance_rate * self.tick
+        carry = 0.0
+        tick_index = 0
+        rng = random.Random(hash((instance_index, 97)) & 0xFFFF)
+        population = list(range(self.num_stocks))
+        while duration is None or tick_index * self.tick < duration:
+            weights = self.stock_weights(tick_index)
+            tick_start = tick_index * self.tick
+            wanted = tuples_per_tick + carry
+            num_batches = int(wanted / self.batch_size)
+            carry = wanted - num_batches * self.batch_size
+            if num_batches > 0:
+                stocks = rng.choices(population, weights=weights, k=num_batches)
+                spacing = self.tick / num_batches
+                counts = self.arrival_counts.setdefault(tick_index, {})
+                for j, stock in enumerate(stocks):
+                    created = tick_start + j * spacing
+                    counts[stock] = counts.get(stock, 0) + self.batch_size
+                    self.generated_tuples += self.batch_size
+                    payload = (
+                        self._make_orders(stock, self.batch_size, created)
+                        if self.real_payloads
+                        else None
+                    )
+                    yield created, TupleBatch(
+                        key=stock,
+                        count=self.batch_size,
+                        cpu_cost=self.order_cost,
+                        size_bytes=ORDER_BYTES,
+                        created_at=created,
+                        payload=payload,
+                    )
+            tick_index += 1
+
+    def arrival_series(
+        self, stocks: typing.Sequence[int], window_ticks: int = 10
+    ) -> typing.Dict[int, typing.List[typing.Tuple[float, float]]]:
+        """Per-stock (time, rate tuples/s) curves — Figure 15's data."""
+        series: typing.Dict[int, typing.List[typing.Tuple[float, float]]] = {
+            stock: [] for stock in stocks
+        }
+        if not self.arrival_counts:
+            return series
+        max_tick = max(self.arrival_counts)
+        for start in range(0, max_tick + 1, window_ticks):
+            window = range(start, min(start + window_ticks, max_tick + 1))
+            span = len(window) * self.tick
+            for stock in stocks:
+                total = sum(
+                    self.arrival_counts.get(t, {}).get(stock, 0) for t in window
+                )
+                series[stock].append((start * self.tick, total / span))
+        return series
+
+    # -- topology --------------------------------------------------------------
+
+    def build_topology(
+        self,
+        executors_per_operator: int = 32,
+        shards_per_executor: int = 256,
+        shard_state_bytes: int = 32 * 1024,
+        analytics_executors: typing.Optional[int] = None,
+    ) -> Topology:
+        """orders -> transactor -> 6 statistics + 5 event operators."""
+        analytics_executors = analytics_executors or max(
+            1, executors_per_operator // 4
+        )
+        key_space = KeySpace(self.num_stocks)
+        builder = TopologyBuilder()
+        builder.add_source(
+            "orders", key_space=key_space, num_executors=executors_per_operator
+        )
+        builder.add_operator(
+            "transactor",
+            TransactorLogic(cost_per_order=self.order_cost, match_ratio=self.match_ratio),
+            upstream=["orders"],
+            key_space=key_space,
+            num_executors=executors_per_operator,
+            shards_per_executor=shards_per_executor,
+            shard_state_bytes=shard_state_bytes,
+        )
+        analytics: typing.Dict[str, typing.Any] = {
+            "moving_average": MovingAverageLogic(window=60.0, cost_per_record=self.analytics_cost),
+            "minute_bars": MovingAverageLogic(window=300.0, cost_per_record=self.analytics_cost),
+            "vwap": TradeStatisticsLogic(cost_per_record=self.analytics_cost),
+            "volume_stats": TradeStatisticsLogic(cost_per_record=self.analytics_cost),
+            "turnover_stats": TradeStatisticsLogic(cost_per_record=self.analytics_cost),
+            "composite_index": CompositeIndexLogic(cost_per_record=self.analytics_cost),
+            "price_alarm": PriceAlarmLogic(
+                thresholds={s: self._reference_price[s] * 1.05 for s in range(self.num_stocks)},
+                cost_per_record=self.analytics_cost,
+            ),
+            "circuit_breaker": PriceAlarmLogic(
+                thresholds={s: self._reference_price[s] * 1.10 for s in range(self.num_stocks)},
+                cost_per_record=self.analytics_cost,
+            ),
+            "volume_spike": PriceAlarmLogic(
+                thresholds={s: self._reference_price[s] * 1.02 for s in range(self.num_stocks)},
+                cost_per_record=self.analytics_cost,
+            ),
+            "fraud_detection": FraudDetectionLogic(cost_per_record=self.analytics_cost),
+            "momentum": MovingAverageLogic(window=10.0, cost_per_record=self.analytics_cost),
+        }
+        for name in self.STATISTICS_OPERATORS + self.EVENT_OPERATORS:
+            builder.add_operator(
+                name,
+                analytics[name],
+                upstream=["transactor"],
+                key_space=key_space,
+                num_executors=analytics_executors,
+                shards_per_executor=shards_per_executor,
+                shard_state_bytes=shard_state_bytes // 4,
+            )
+        return builder.build()

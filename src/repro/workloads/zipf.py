@@ -1,0 +1,94 @@
+"""Zipf key frequencies with periodic shuffling (paper §5.1).
+
+"The key space contains 10K distinct values, whose frequencies follow a
+zipf distribution with a skew factor of 0.5.  To emulate workload
+dynamics, we shuffle the frequencies of tuple keys by applying a random
+permutation ω times per minute."
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+import typing
+
+from repro.sim import Environment
+
+
+class ZipfKeyDistribution:
+    """Keys 0..num_keys-1 with zipf(skew) frequencies, shufflable.
+
+    The rank-to-key mapping is a mutable permutation: :meth:`shuffle`
+    re-randomizes which keys are hot without changing the frequency shape,
+    exactly the paper's workload-dynamics knob.
+    """
+
+    def __init__(self, num_keys: int, skew: float = 0.5, seed: int = 0) -> None:
+        if num_keys < 1:
+            raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+        if skew < 0:
+            raise ValueError(f"skew must be >= 0, got {skew}")
+        self.num_keys = num_keys
+        self.skew = skew
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank ** skew) for rank in range(1, num_keys + 1)]
+        total = sum(weights)
+        self._cumulative = list(itertools.accumulate(w / total for w in weights))
+        self._cumulative[-1] = 1.0  # guard against float drift
+        self._key_of_rank = list(range(num_keys))
+        self._rng.shuffle(self._key_of_rank)
+        self.shuffle_count = 0
+
+    def probability(self, key: int) -> float:
+        """Current frequency of ``key``."""
+        rank = self._key_of_rank.index(key)
+        low = self._cumulative[rank - 1] if rank > 0 else 0.0
+        return self._cumulative[rank] - low
+
+    def hottest_keys(self, n: int) -> typing.List[int]:
+        """The ``n`` currently most frequent keys, hottest first."""
+        return [self._key_of_rank[rank] for rank in range(min(n, self.num_keys))]
+
+    def sample(self, count: int) -> typing.List[int]:
+        """Draw ``count`` keys i.i.d. from the current distribution."""
+        rng = self._rng
+        cumulative = self._cumulative
+        key_of_rank = self._key_of_rank
+        return [
+            key_of_rank[bisect.bisect_left(cumulative, rng.random())]
+            for _ in range(count)
+        ]
+
+    def shuffle(self) -> None:
+        """Apply a random permutation to the key frequencies."""
+        self._rng.shuffle(self._key_of_rank)
+        self.shuffle_count += 1
+
+
+class KeyShuffler:
+    """Simulation process applying ω shuffles per minute."""
+
+    def __init__(
+        self,
+        env: Environment,
+        distribution: ZipfKeyDistribution,
+        shuffles_per_minute: float,
+    ) -> None:
+        if shuffles_per_minute < 0:
+            raise ValueError(f"omega must be >= 0, got {shuffles_per_minute}")
+        self.env = env
+        self.distribution = distribution
+        self.omega = shuffles_per_minute
+        self.shuffle_times: typing.List[float] = []
+
+    def start(self) -> None:
+        if self.omega > 0:
+            self.env.process(self._run())
+
+    def _run(self) -> typing.Generator:
+        interval = 60.0 / self.omega
+        while True:
+            yield self.env.timeout(interval)
+            self.distribution.shuffle()
+            self.shuffle_times.append(self.env.now)

@@ -1,0 +1,163 @@
+"""Unit and property tests for the FFD shard balancer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.executors.balancer import BalanceMove, ShardBalancer
+
+
+class TestImbalance:
+    def test_balanced_is_one(self):
+        assert ShardBalancer.imbalance({"a": 5.0, "b": 5.0}) == 1.0
+
+    def test_skewed(self):
+        assert ShardBalancer.imbalance({"a": 30.0, "b": 10.0}) == pytest.approx(1.5)
+
+    def test_empty_or_idle_is_one(self):
+        assert ShardBalancer.imbalance({}) == 1.0
+        assert ShardBalancer.imbalance({"a": 0.0, "b": 0.0}) == 1.0
+
+
+class TestPlan:
+    def test_no_moves_when_balanced(self):
+        balancer = ShardBalancer(theta=1.2)
+        loads = {0: 1.0, 1: 1.0}
+        assignment = {0: "a", 1: "b"}
+        assert balancer.plan(loads, assignment, ["a", "b"]) == []
+
+    def test_single_move_fixes_simple_skew(self):
+        balancer = ShardBalancer(theta=1.2)
+        loads = {0: 1.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        assignment = {0: "a", 1: "a", 2: "a", 3: "b"}
+        moves = balancer.plan(loads, assignment, ["a", "b"])
+        assert moves == [BalanceMove(shard_id=0, src="a", dst="b")] or (
+            len(moves) == 1 and moves[0].src == "a" and moves[0].dst == "b"
+        )
+
+    def test_moves_populate_empty_container(self):
+        balancer = ShardBalancer(theta=1.2)
+        loads = {i: 1.0 for i in range(8)}
+        assignment = {i: "a" for i in range(8)}
+        moves = balancer.plan(loads, assignment, ["a", "b"])
+        dst_count = sum(1 for m in moves if m.dst == "b")
+        assert dst_count == 4  # perfectly split
+
+    def test_respects_theta(self):
+        balancer = ShardBalancer(theta=2.0)
+        loads = {0: 3.0, 1: 2.0}
+        assignment = {0: "a", 1: "b"}
+        # delta = 3/2.5 = 1.2 < 2.0 -> already acceptable
+        assert balancer.plan(loads, assignment, ["a", "b"]) == []
+
+    def test_gives_up_when_no_improving_move(self):
+        balancer = ShardBalancer(theta=1.0)
+        loads = {0: 10.0}
+        assignment = {0: "a"}
+        # One giant shard cannot be split; moving it just relocates the max.
+        assert balancer.plan(loads, assignment, ["a", "b"]) == []
+
+    def test_unknown_container_rejected(self):
+        balancer = ShardBalancer()
+        with pytest.raises(ValueError):
+            balancer.plan({0: 1.0}, {0: "ghost"}, ["a"])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardBalancer(theta=0.9)
+        with pytest.raises(ValueError):
+            ShardBalancer(max_moves=0)
+
+    def test_empty_containers_no_moves(self):
+        assert ShardBalancer().plan({}, {}, []) == []
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        shard_loads=st.lists(
+            st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=40
+        ),
+        num_containers=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_plan_never_increases_imbalance(self, shard_loads, num_containers, seed):
+        import random
+
+        rng = random.Random(seed)
+        containers = [f"c{i}" for i in range(num_containers)]
+        loads = dict(enumerate(shard_loads))
+        assignment = {i: rng.choice(containers) for i in loads}
+        balancer = ShardBalancer(theta=1.2)
+        moves = balancer.plan(loads, assignment, containers)
+
+        def container_loads(assign):
+            result = {c: 0.0 for c in containers}
+            for shard, container in assign.items():
+                result[container] += loads[shard]
+            return result
+
+        before = ShardBalancer.imbalance(container_loads(assignment))
+        final = dict(assignment)
+        seen_shards = set()
+        for move in moves:
+            # Moves reference valid shards/containers and apply in order.
+            assert final[move.shard_id] == move.src
+            final[move.shard_id] = move.dst
+            seen_shards.add(move.shard_id)
+        after = ShardBalancer.imbalance(container_loads(final))
+        assert after <= before + 1e-9
+        # No shard lost or duplicated.
+        assert set(final) == set(assignment)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        num_shards=st.integers(min_value=4, max_value=60),
+        num_containers=st.integers(min_value=2, max_value=6),
+    )
+    def test_uniform_loads_reach_theta(self, num_shards, num_containers):
+        # Uniform shard loads, all piled on one container: the balancer must
+        # reach θ whenever shards are divisible enough.
+        containers = [f"c{i}" for i in range(num_containers)]
+        loads = {i: 1.0 for i in range(num_shards)}
+        assignment = {i: containers[0] for i in range(num_shards)}
+        balancer = ShardBalancer(theta=1.2)
+        moves = balancer.plan(loads, assignment, containers)
+        final = dict(assignment)
+        for move in moves:
+            final[move.shard_id] = move.dst
+        per_container = {c: 0.0 for c in containers}
+        for shard, container in final.items():
+            per_container[container] += 1.0
+        delta = ShardBalancer.imbalance(per_container)
+        # ceil/floor effects bound achievable delta for small shard counts.
+        best_possible = (
+            -(-num_shards // num_containers) / (num_shards / num_containers)
+        )
+        assert delta <= max(1.2, best_possible) + 1e-9
+
+
+class TestSpreadPlan:
+    def test_spreads_evenly(self):
+        balancer = ShardBalancer()
+        loads = {i: 1.0 for i in range(6)}
+        placement = balancer.spread_plan(loads, range(6), ["a", "b", "c"])
+        counts = {}
+        for container in placement.values():
+            counts[container] = counts.get(container, 0) + 1
+        assert counts == {"a": 2, "b": 2, "c": 2}
+
+    def test_respects_initial_loads(self):
+        balancer = ShardBalancer()
+        loads = {0: 1.0}
+        placement = balancer.spread_plan(
+            loads, [0], ["busy", "idle"], initial_loads={"busy": 100.0, "idle": 0.0}
+        )
+        assert placement[0] == "idle"
+
+    def test_heaviest_first(self):
+        balancer = ShardBalancer()
+        loads = {0: 10.0, 1: 1.0, 2: 1.0, 3: 1.0}
+        placement = balancer.spread_plan(loads, range(4), ["a", "b"])
+        heavy_container = placement[0]
+        others = [placement[i] for i in (1, 2, 3)]
+        # The three light shards balance against the heavy one.
+        assert others.count(heavy_container) == 0

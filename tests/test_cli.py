@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.paradigm == "elasticutor"
+        assert args.workload == "micro"
+        assert args.rate == 17_000.0
+
+    def test_compare_args(self):
+        args = build_parser().parse_args(
+            ["compare", "--workload", "sse", "--rate", "9000", "--nodes", "4"]
+        )
+        assert args.workload == "sse"
+        assert args.rate == 9000.0
+        assert args.nodes == 4
+
+    def test_scale_out_args(self):
+        args = build_parser().parse_args(
+            ["scale-out", "--cores", "1", "4", "--cost-ms", "0.5"]
+        )
+        assert args.cores == [1, 4]
+        assert args.cost_ms == 0.5
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+    def test_unknown_paradigm_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--paradigm", "magic"])
+
+
+class TestExecution:
+    def test_run_micro(self, capsys):
+        code = main([
+            "run", "--paradigm", "elasticutor", "--rate", "3000",
+            "--keys", "500", "--nodes", "4", "--cores-per-node", "2",
+            "--sources", "2", "--executors", "2", "--shards", "8",
+            "--duration", "8", "--warmup", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "elasticutor" in out
+
+    def test_run_rc_alias(self, capsys):
+        code = main([
+            "run", "--paradigm", "rc", "--rate", "2000",
+            "--keys", "500", "--nodes", "4", "--cores-per-node", "2",
+            "--sources", "2", "--executors", "2", "--shards", "8",
+            "--duration", "6", "--warmup", "2",
+        ])
+        assert code == 0
+        assert "resource-centric" in capsys.readouterr().out
+
+    def test_run_with_hybrid(self, capsys):
+        code = main([
+            "run", "--paradigm", "elasticutor", "--rate", "2000",
+            "--keys", "500", "--nodes", "4", "--cores-per-node", "2",
+            "--sources", "2", "--executors", "2", "--shards", "8",
+            "--duration", "6", "--warmup", "2", "--hybrid",
+        ])
+        assert code == 0
+
+    def test_scale_out(self, capsys):
+        code = main([
+            "scale-out", "--cores", "1", "2", "--duration", "4",
+            "--warmup", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "efficiency" in out
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "--rate", "1500", "--keys", "300", "--nodes", "4",
+            "--cores-per-node", "2", "--sources", "2", "--executors", "2",
+            "--shards", "8", "--duration", "6", "--warmup", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("static", "resource-centric", "elasticutor", "naive-ec"):
+            assert name in out

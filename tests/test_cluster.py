@@ -1,0 +1,164 @@
+"""Unit tests for nodes, core accounting, and the network fabric."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    CoreAllocationError,
+    CoreManager,
+    NetworkFabric,
+    Node,
+    TransferPurpose,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestNodeAndCluster:
+    def test_cluster_defaults_match_paper_testbed(self, env):
+        cluster = Cluster(env)
+        assert cluster.num_nodes == 32
+        assert cluster.total_cores == 256
+
+    def test_node_validation(self):
+        with pytest.raises(ValueError):
+            Node(0, num_cores=0)
+
+    def test_cluster_validation(self, env):
+        with pytest.raises(ValueError):
+            Cluster(env, num_nodes=0)
+
+    def test_node_lookup(self, env):
+        cluster = Cluster(env, num_nodes=4, cores_per_node=2)
+        assert cluster.node(3).node_id == 3
+        assert cluster.node(3).num_cores == 2
+
+
+class TestCoreManager:
+    def make(self, nodes=2, cores=4):
+        return CoreManager([Node(i, cores) for i in range(nodes)])
+
+    def test_allocate_and_free(self):
+        cores = self.make()
+        cores.allocate("ex1", node_id=0, count=3)
+        assert cores.free(0) == 1
+        assert cores.held_total("ex1") == 3
+        cores.release("ex1", node_id=0, count=2)
+        assert cores.free(0) == 3
+        assert cores.holdings("ex1") == {0: 1}
+
+    def test_over_allocation_rejected(self):
+        cores = self.make()
+        with pytest.raises(CoreAllocationError):
+            cores.allocate("ex1", node_id=0, count=5)
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(CoreAllocationError):
+            self.make().allocate("ex1", node_id=9, count=1)
+
+    def test_release_more_than_held_rejected(self):
+        cores = self.make()
+        cores.allocate("ex1", node_id=0, count=1)
+        with pytest.raises(CoreAllocationError):
+            cores.release("ex1", node_id=0, count=2)
+
+    def test_release_all(self):
+        cores = self.make()
+        cores.allocate("ex1", 0, 2)
+        cores.allocate("ex1", 1, 1)
+        cores.release_all("ex1")
+        assert cores.total_free == cores.total_capacity
+        assert cores.holdings("ex1") == {}
+
+    def test_multiple_owners_independent(self):
+        cores = self.make()
+        cores.allocate("a", 0, 2)
+        cores.allocate("b", 0, 2)
+        assert cores.free(0) == 0
+        cores.release("a", 0, 2)
+        assert cores.free(0) == 2
+        assert cores.held_total("b") == 2
+
+    def test_nodes_with_free_cores(self):
+        cores = self.make(nodes=2, cores=1)
+        cores.allocate("a", 0, 1)
+        assert cores.nodes_with_free_cores() == [1]
+
+
+class TestNetworkFabric:
+    def test_local_transfer_is_cheap(self, env):
+        fabric = NetworkFabric(env, num_nodes=2)
+        done = []
+        fabric.transfer(0, 0, 1_000_000).callbacks.append(
+            lambda ev: done.append(env.now)
+        )
+        env.run()
+        assert done[0] == pytest.approx(NetworkFabric.LOCAL_DELIVERY_LATENCY)
+
+    def test_remote_transfer_pays_bandwidth_and_latency(self, env):
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.01
+        )
+        done = []
+        fabric.transfer(0, 1, 500_000).callbacks.append(
+            lambda ev: done.append(env.now)
+        )
+        env.run()
+        assert done[0] == pytest.approx(0.5 + 0.01)
+
+    def test_transfers_on_same_link_serialize(self, env):
+        fabric = NetworkFabric(
+            env, num_nodes=3, bandwidth_bytes_per_s=1e6, base_latency=0.0
+        )
+        done = {}
+        fabric.transfer(0, 1, 1_000_000).callbacks.append(
+            lambda ev: done.setdefault("first", env.now)
+        )
+        fabric.transfer(0, 2, 1_000_000).callbacks.append(
+            lambda ev: done.setdefault("second", env.now)
+        )
+        env.run()
+        assert done["first"] == pytest.approx(1.0)
+        assert done["second"] == pytest.approx(2.0)  # egress of node 0 shared
+
+    def test_disjoint_links_parallel(self, env):
+        fabric = NetworkFabric(
+            env, num_nodes=4, bandwidth_bytes_per_s=1e6, base_latency=0.0
+        )
+        done = {}
+        fabric.transfer(0, 1, 1_000_000).callbacks.append(
+            lambda ev: done.setdefault("a", env.now)
+        )
+        fabric.transfer(2, 3, 1_000_000).callbacks.append(
+            lambda ev: done.setdefault("b", env.now)
+        )
+        env.run()
+        assert done["a"] == pytest.approx(1.0)
+        assert done["b"] == pytest.approx(1.0)
+
+    def test_byte_accounting_by_purpose(self, env):
+        fabric = NetworkFabric(env, num_nodes=2)
+        fabric.transfer(0, 1, 100, purpose=TransferPurpose.STATE_MIGRATION)
+        fabric.transfer(0, 1, 50, purpose=TransferPurpose.REMOTE_TASK)
+        fabric.transfer(0, 0, 999, purpose=TransferPurpose.REMOTE_TASK)  # local: free
+        env.run()
+        assert fabric.bytes_by_purpose[TransferPurpose.STATE_MIGRATION].total == 100
+        assert fabric.bytes_by_purpose[TransferPurpose.REMOTE_TASK].total == 50
+
+    def test_negative_size_rejected(self, env):
+        fabric = NetworkFabric(env, num_nodes=2)
+        with pytest.raises(ValueError):
+            fabric.transfer(0, 1, -1)
+
+    def test_duration_estimate(self, env):
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.01
+        )
+        assert fabric.transfer_duration_estimate(0, 1, 1e6) == pytest.approx(1.01)
+        assert fabric.transfer_duration_estimate(0, 0, 1e6) == pytest.approx(
+            NetworkFabric.LOCAL_DELIVERY_LATENCY
+        )

@@ -1,0 +1,82 @@
+"""Unit tests for executor metrics and reassignment statistics."""
+
+import pytest
+
+from repro.executors.stats import (
+    ExecutorMetrics,
+    ReassignmentRecord,
+    ReassignmentStats,
+)
+
+
+class TestExecutorMetrics:
+    def test_arrival_rate_windowed(self):
+        metrics = ExecutorMetrics(window=5.0)
+        for t in range(10):
+            metrics.on_arrival(float(t), count=10, nbytes=1000)
+        # Last 5 s window at t=10: arrivals at t=6..9.
+        assert metrics.arrival_rate(10.0) == pytest.approx(40 / 5.0)
+
+    def test_service_rate_tracks_cost(self):
+        metrics = ExecutorMetrics(cost_half_life=1.0)
+        for t in range(30):
+            metrics.on_processed(float(t), count=10, cpu_seconds=0.02)
+        # 2 ms per tuple -> 500 tuples/s per core.
+        assert metrics.service_rate() == pytest.approx(500.0, rel=0.05)
+
+    def test_data_rate_sums_in_and_out(self):
+        metrics = ExecutorMetrics(window=2.0)
+        metrics.on_arrival(0.0, count=1, nbytes=1000)
+        metrics.on_emit(0.0, nbytes=500)
+        assert metrics.data_rate(0.5) == pytest.approx(1500 / 2.0)
+
+    def test_counters_accumulate(self):
+        metrics = ExecutorMetrics()
+        metrics.on_processed(0.0, count=7, cpu_seconds=0.007)
+        metrics.on_processed(1.0, count=3, cpu_seconds=0.003)
+        assert metrics.processed_tuples.total == 10
+        assert metrics.processed_batches.total == 2
+
+    def test_zero_count_processing_ignored_for_cost(self):
+        metrics = ExecutorMetrics()
+        before = metrics.service_cost.value
+        metrics.on_processed(0.0, count=0, cpu_seconds=0.0)
+        assert metrics.service_cost.value == before
+
+
+class TestReassignmentStats:
+    def record(self, inter, sync, migration, nbytes=0, t=0.0):
+        return ReassignmentRecord(
+            time=t, shard_id=0, inter_node=inter,
+            sync_seconds=sync, migration_seconds=migration,
+            migrated_bytes=nbytes,
+        )
+
+    def test_breakdown_by_locality(self):
+        stats = ReassignmentStats()
+        stats.record(self.record(False, sync=0.002, migration=0.0))
+        stats.record(self.record(False, sync=0.004, migration=0.0))
+        stats.record(self.record(True, sync=0.003, migration=0.010, nbytes=100))
+        intra = stats.mean_breakdown(inter_node=False)
+        inter = stats.mean_breakdown(inter_node=True)
+        assert intra["count"] == 2
+        assert intra["sync"] == pytest.approx(0.003)
+        assert intra["migration"] == 0.0
+        assert inter["count"] == 1
+        assert inter["total"] == pytest.approx(0.013)
+
+    def test_empty_breakdown(self):
+        stats = ReassignmentStats()
+        assert stats.mean_breakdown(True) == {
+            "count": 0, "sync": 0.0, "migration": 0.0, "total": 0.0
+        }
+
+    def test_total_migrated_bytes(self):
+        stats = ReassignmentStats()
+        stats.record(self.record(True, 0.0, 0.01, nbytes=100))
+        stats.record(self.record(True, 0.0, 0.01, nbytes=250))
+        assert stats.total_migrated_bytes == 350
+
+    def test_record_total_property(self):
+        record = self.record(True, sync=0.002, migration=0.005)
+        assert record.total_seconds == pytest.approx(0.007)

@@ -1,0 +1,178 @@
+"""Tests for the external (RAMCloud-style) state store alternative."""
+
+import pytest
+
+from repro.cluster import Cluster, TransferPurpose
+from repro.executors import ElasticExecutor
+from repro.executors.config import ExecutorConfig
+from repro.logic.base import OperatorLogic
+from repro.sim import Environment
+from repro.state import ExternalStateService, ShardState
+from repro.topology import OperatorSpec, TupleBatch
+
+
+class CountingLogic(OperatorLogic):
+    def __init__(self, cost=1e-3):
+        self.cost = cost
+        self.seen = []
+
+    def cpu_seconds(self, batch):
+        return batch.count * self.cost
+
+    def process(self, batch, state):
+        state.put(batch.key, state.get(batch.key, 0) + batch.count)
+        self.seen.append(batch.key)
+        return []
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestExternalStateService:
+    def test_register_and_access(self, env):
+        cluster = Cluster(env, num_nodes=3)
+        service = ExternalStateService(env, cluster.network, storage_nodes=[2])
+        shard = ShardState(0)
+        service.register_shard("ex", shard)
+        got = {}
+
+        def body():
+            result = yield from service.access("ex", 0, from_node=0)
+            got["shard"] = result
+            got["time"] = env.now
+
+        env.process(body())
+        env.run()
+        assert got["shard"] is shard
+        # Paid two transfers + two serializations.
+        assert got["time"] > 2 * cluster.network.base_latency
+        assert service.accesses == 1
+
+    def test_double_register_rejected(self, env):
+        cluster = Cluster(env, num_nodes=2)
+        service = ExternalStateService(env, cluster.network, storage_nodes=[1])
+        service.register_shard("ex", ShardState(0))
+        with pytest.raises(ValueError):
+            service.register_shard("ex", ShardState(0))
+
+    def test_unregistered_access_rejected(self, env):
+        from repro.sim import ProcessCrash
+
+        cluster = Cluster(env, num_nodes=2)
+        service = ExternalStateService(env, cluster.network, storage_nodes=[1])
+
+        def body():
+            yield from service.access("ghost", 0, from_node=0)
+
+        env.process(body())
+        with pytest.raises(ProcessCrash, match="not registered"):
+            env.run()
+
+    def test_validation(self, env):
+        cluster = Cluster(env, num_nodes=2)
+        with pytest.raises(ValueError):
+            ExternalStateService(env, cluster.network, storage_nodes=[])
+        with pytest.raises(ValueError):
+            ExternalStateService(
+                env, cluster.network, storage_nodes=[1], access_bytes=-1
+            )
+
+
+class TestExecutorWithExternalState:
+    def make_executor(self, env, cluster, service, logic):
+        spec = OperatorSpec(
+            "op", logic=logic, num_executors=1, shards_per_executor=8
+        )
+        executor = ElasticExecutor(
+            env, cluster, spec, index=0, local_node=0,
+            config=ExecutorConfig(balance_interval=0.3),
+            external_state=service,
+        )
+        executor.connect([], sink_recorder=lambda b, n: None)
+        executor.start(initial_cores=1)
+        return executor
+
+    def test_state_persists_in_service(self, env):
+        cluster = Cluster(env, num_nodes=4)
+        service = ExternalStateService(env, cluster.network, storage_nodes=[3])
+        logic = CountingLogic()
+        executor = self.make_executor(env, cluster, service, logic)
+
+        def feed():
+            for i in range(20):
+                batch = TupleBatch(key=5, count=2, cpu_cost=1e-3,
+                                   size_bytes=128, created_at=env.now)
+                yield executor.input_queue.put(batch)
+
+        env.process(feed())
+        env.run(until=3.0)
+        assert len(logic.seen) == 20
+        # Every batch paid a state access.
+        assert service.accesses == 20
+        # State accumulated in the external shard, not in local stores.
+        assert all(len(store) == 0 for store in executor.stores.values())
+        assert executor.state_bytes() == 0
+
+    def test_reassignment_never_migrates(self, env):
+        cluster = Cluster(env, num_nodes=4)
+        service = ExternalStateService(env, cluster.network, storage_nodes=[3])
+        logic = CountingLogic()
+        executor = self.make_executor(env, cluster, service, logic)
+
+        def feed():
+            for i in range(200):
+                batch = TupleBatch(key=i % 16, count=2, cpu_cost=1e-3,
+                                   size_bytes=128, created_at=env.now)
+                yield executor.input_queue.put(batch)
+
+        env.process(feed())
+
+        def churn():
+            yield env.timeout(0.2)
+            yield from executor.add_core(1)  # remote node
+            yield env.timeout(0.5)
+            yield from executor.add_core(1)
+
+        env.process(churn())
+        env.run(until=5.0)
+        assert executor.num_cores == 3
+        migrated = cluster.network.bytes_by_purpose[TransferPurpose.STATE_MIGRATION]
+        assert migrated.total == 0  # the whole point of the external store
+        assert len(logic.seen) == 200
+
+    def test_access_cost_slows_processing(self, env):
+        # Identical workload: the external-store executor is slower
+        # because every batch pays a round trip.
+        def run(external):
+            local_env = Environment()
+            cluster = Cluster(local_env, num_nodes=3,
+                              network_latency=1e-3)
+            service = (
+                ExternalStateService(local_env, cluster.network, storage_nodes=[2])
+                if external else None
+            )
+            logic = CountingLogic(cost=0.2e-3)
+            spec = OperatorSpec("op", logic=logic, num_executors=1,
+                                shards_per_executor=8)
+            executor = ElasticExecutor(
+                local_env, cluster, spec, index=0, local_node=0,
+                external_state=service,
+            )
+            executor.connect([], sink_recorder=lambda b, n: None)
+            executor.start(initial_cores=1)
+
+            def feed():
+                for i in range(3000):
+                    batch = TupleBatch(key=i % 32, count=2, cpu_cost=0.2e-3,
+                                       size_bytes=128, created_at=local_env.now)
+                    yield executor.input_queue.put(batch)
+
+            local_env.process(feed())
+            local_env.run(until=2.0)
+            return executor.metrics.processed_tuples.total
+
+        shared = run(external=False)
+        external = run(external=True)
+        assert external < 0.5 * shared

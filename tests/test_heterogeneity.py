@@ -1,0 +1,124 @@
+"""Straggler/heterogeneity robustness.
+
+Node speed factors degrade a node's cores at runtime.  Nothing in the
+balancer or scheduler knows about speeds explicitly — they adapt because
+every decision is driven by *measured* per-shard costs and service rates,
+which is the paper's measurement-based design working as intended.
+"""
+
+import pytest
+
+from repro import MicroBenchmarkWorkload, Paradigm, StreamSystem, SystemConfig
+from repro.cluster import Cluster
+from repro.executors import ElasticExecutor
+from repro.executors.config import ExecutorConfig
+from repro.logic.base import SyntheticLogic
+from repro.sim import Environment
+from repro.topology import OperatorSpec, TupleBatch
+
+
+class TestNodeSpeed:
+    def test_speed_factor_scales_processing_time(self):
+        def throughput_with_speed(speed):
+            env = Environment()
+            cluster = Cluster(env, num_nodes=2, cores_per_node=2)
+            cluster.set_node_speed(0, speed)
+            spec = OperatorSpec(
+                "op", logic=SyntheticLogic(selectivity=0.0, cost_per_tuple=1e-3),
+                num_executors=1, shards_per_executor=4,
+            )
+            executor = ElasticExecutor(env, cluster, spec, 0, local_node=0)
+            executor.connect([], sink_recorder=lambda b, n: None)
+            executor.start(initial_cores=1)
+
+            def feed():
+                for i in range(5000):
+                    yield executor.input_queue.put(
+                        TupleBatch(key=i % 16, count=10, cpu_cost=1e-3,
+                                   size_bytes=64, created_at=env.now)
+                    )
+
+            env.process(feed())
+            env.run(until=5.0)
+            return executor.metrics.processed_tuples.total
+
+        full = throughput_with_speed(1.0)
+        half = throughput_with_speed(0.5)
+        assert half == pytest.approx(full / 2, rel=0.05)
+
+    def test_validation(self):
+        env = Environment()
+        cluster = Cluster(env, num_nodes=2)
+        with pytest.raises(ValueError):
+            cluster.set_node_speed(0, 0.0)
+        from repro.cluster import Node
+
+        with pytest.raises(ValueError):
+            Node(0, 4, speed_factor=-1.0)
+
+    def test_balancer_shifts_load_away_from_straggler(self):
+        # One executor, one local task + one task on a slow remote node:
+        # measured per-shard costs on the slow node are higher, so the
+        # balancer gives the slow task fewer shards.
+        env = Environment()
+        cluster = Cluster(env, num_nodes=2, cores_per_node=2)
+        cluster.set_node_speed(1, 0.25)  # node 1 is 4x slower
+        spec = OperatorSpec(
+            "op", logic=SyntheticLogic(selectivity=0.0, cost_per_tuple=1e-3),
+            num_executors=1, shards_per_executor=32,
+        )
+        executor = ElasticExecutor(
+            env, cluster, spec, 0, local_node=0,
+            config=ExecutorConfig(balance_interval=0.5),
+        )
+        executor.connect([], sink_recorder=lambda b, n: None)
+        executor.start(initial_cores=1)
+
+        def grow():
+            yield from executor.add_core(1)
+
+        env.process(grow())
+
+        def feed():
+            i = 0
+            while True:
+                yield executor.input_queue.put(
+                    TupleBatch(key=i % 128, count=10, cpu_cost=1e-3,
+                               size_bytes=64, created_at=env.now)
+                )
+                i += 1
+                yield env.timeout(0.007)  # ~1.4k t/s: inside joint capacity
+
+        env.process(feed())
+        env.run(until=20.0)
+        fast_task = next(t for t in executor.tasks.values() if t.node_id == 0)
+        slow_task = next(t for t in executor.tasks.values() if t.node_id == 1)
+        fast_shards = len(executor.routing.shards_of(fast_task))
+        slow_shards = len(executor.routing.shards_of(slow_task))
+        assert fast_shards > 1.5 * slow_shards, (
+            f"fast task holds {fast_shards}, slow task {slow_shards}"
+        )
+
+    def test_scheduler_compensates_for_straggler_node(self):
+        workload = MicroBenchmarkWorkload(
+            rate=6000, num_keys=1000, skew=0.5, omega=0.0, batch_size=10, seed=9
+        )
+        topology = workload.build_topology(
+            executors_per_operator=4, shards_per_executor=16
+        )
+        config = SystemConfig(
+            paradigm=Paradigm.ELASTICUTOR, num_nodes=4, cores_per_node=4,
+            source_instances=2,
+        )
+        system = StreamSystem(topology, workload, config)
+        # Degrade node 3 halfway through the run.
+        def degrade():
+            yield system.env.timeout(10.0)
+            system.cluster.set_node_speed(3, 0.3)
+
+        system.env.process(degrade())
+        result = system.run(duration=40.0, warmup=20.0)
+        # The system keeps up despite losing ~70% of one node's capacity:
+        # the model sees the lower µ of affected executors and grants
+        # them more cores.
+        assert result.throughput_tps == pytest.approx(6000, rel=0.05)

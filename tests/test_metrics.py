@@ -1,0 +1,168 @@
+"""Unit and property tests for the metrics package."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import EWMA, ByteCounter, Counter, LatencyReservoir, TimeSeries, WindowedRate
+
+
+class TestCounter:
+    def test_add_and_total(self):
+        counter = Counter()
+        counter.add()
+        counter.add(5)
+        assert counter.total == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter().add(-1)
+
+    def test_delta_consumes(self):
+        counter = Counter()
+        counter.add(10)
+        assert counter.delta() == 10
+        assert counter.delta() == 0
+        counter.add(3)
+        assert counter.peek_delta() == 3
+        assert counter.delta() == 3
+
+    def test_byte_counter_rate(self):
+        counter = ByteCounter()
+        counter.add(1000)
+        assert counter.rate_since(2.0) == 500.0
+
+    def test_byte_counter_rate_requires_positive_elapsed(self):
+        with pytest.raises(ValueError):
+            ByteCounter().rate_since(0.0)
+
+
+class TestWindowedRate:
+    def test_rate_over_window(self):
+        meter = WindowedRate(window=10.0)
+        for t in range(10):
+            meter.record(float(t), 5)
+        assert meter.rate(10.0) == pytest.approx(4.5)  # t=0 fell off
+
+    def test_old_events_pruned(self):
+        meter = WindowedRate(window=1.0)
+        meter.record(0.0, 100)
+        assert meter.rate(5.0) == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            WindowedRate(window=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        events=st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.integers(min_value=0, max_value=10),
+            ),
+            max_size=50,
+        )
+    )
+    def test_rate_matches_bruteforce(self, events):
+        events.sort()
+        meter = WindowedRate(window=7.0)
+        for t, n in events:
+            meter.record(t, n)
+        now = 100.0
+        expected = sum(n for t, n in events if t > now - 7.0) / 7.0
+        assert meter.rate(now) == pytest.approx(expected)
+
+
+class TestEWMA:
+    def test_first_sample_adopted(self):
+        ewma = EWMA(half_life=10.0)
+        assert ewma.update(0.0, 42.0) == 42.0
+
+    def test_converges_toward_samples(self):
+        ewma = EWMA(half_life=1.0)
+        ewma.update(0.0, 0.0)
+        for t in range(1, 50):
+            ewma.update(float(t), 10.0)
+        assert ewma.value == pytest.approx(10.0, abs=1e-6)
+
+    def test_half_life_semantics(self):
+        ewma = EWMA(half_life=5.0)
+        ewma.update(0.0, 0.0)
+        ewma.update(5.0, 10.0)  # exactly one half-life later
+        assert ewma.value == pytest.approx(5.0)
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ValueError):
+            EWMA(half_life=0.0)
+
+
+class TestLatencyReservoir:
+    def test_mean_over_all_samples(self):
+        reservoir = LatencyReservoir(capacity=4)
+        for value in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            reservoir.record(value)
+        assert reservoir.count == 5
+        assert reservoir.mean == pytest.approx(3.0)
+        assert reservoir.max == 5.0
+
+    def test_percentiles_small(self):
+        reservoir = LatencyReservoir()
+        for value in range(1, 101):
+            reservoir.record(float(value))
+        assert reservoir.percentile(50) == pytest.approx(50.5)
+        assert reservoir.percentile(99) == pytest.approx(99.01)
+        assert reservoir.percentile(0) == 1.0
+        assert reservoir.percentile(100) == 100.0
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir().record(-0.1)
+
+    def test_invalid_percentile(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir().percentile(101)
+
+    def test_empty_snapshot(self):
+        snapshot = LatencyReservoir().snapshot()
+        assert snapshot["count"] == 0
+        assert snapshot["p99"] == 0.0
+
+    def test_reservoir_approximates_distribution(self):
+        reservoir = LatencyReservoir(capacity=500, seed=7)
+        for value in range(10_000):
+            reservoir.record(float(value))
+        # Median of 0..9999 is ~5000; reservoir should land nearby.
+        assert abs(reservoir.percentile(50) - 5000) < 1000
+
+
+class TestTimeSeries:
+    def test_record_and_window_sum(self):
+        series = TimeSeries("throughput")
+        for t in range(10):
+            series.record(float(t), 2.0)
+        assert series.window_sum(0.0, 5.0) == 10.0
+        assert series.window_sum(5.0, 10.0) == 10.0
+
+    def test_nondecreasing_enforced(self):
+        series = TimeSeries()
+        series.record(5.0, 1.0)
+        with pytest.raises(ValueError):
+            series.record(4.0, 1.0)
+
+    def test_window_mean_empty(self):
+        assert TimeSeries().window_mean(0.0, 1.0) == 0.0
+
+    def test_sliding_rate(self):
+        series = TimeSeries()
+        for i in range(100):
+            series.record(i * 0.1, 1.0)  # 10 events/s for 10s
+        points = series.sliding_rate(window=1.0, step=1.0, start=0.0, end=9.9)
+        assert len(points) == 9
+        for _, rate in points:
+            assert rate == pytest.approx(10.0)
+
+    def test_sliding_rate_validates(self):
+        with pytest.raises(ValueError):
+            TimeSeries().sliding_rate(window=0, step=1, start=0, end=10)

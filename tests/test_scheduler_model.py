@@ -1,0 +1,201 @@
+"""Unit and property tests for the queueing model and greedy allocation."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scheduler import (
+    ExecutorDemand,
+    GreedyAllocator,
+    JacksonNetworkModel,
+    MMKModel,
+    erlang_c,
+)
+
+
+class TestErlangC:
+    def test_zero_load(self):
+        assert erlang_c(4, 0.0) == 0.0
+
+    def test_unstable_queue_always_waits(self):
+        assert erlang_c(2, 2.0) == 1.0
+        assert erlang_c(2, 5.0) == 1.0
+
+    def test_single_server_equals_utilization(self):
+        # For M/M/1, P(wait) = rho.
+        assert erlang_c(1, 0.5) == pytest.approx(0.5)
+        assert erlang_c(1, 0.9) == pytest.approx(0.9)
+
+    def test_known_value(self):
+        # Classic table value: k=5, a=4 -> C ~ 0.5541.
+        assert erlang_c(5, 4.0) == pytest.approx(0.5541, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erlang_c(0, 1.0)
+        with pytest.raises(ValueError):
+            erlang_c(1, -1.0)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        servers=st.integers(min_value=1, max_value=64),
+        load_fraction=st.floats(min_value=0.01, max_value=0.99),
+    )
+    def test_probability_bounds_and_monotonicity(self, servers, load_fraction):
+        offered = servers * load_fraction
+        value = erlang_c(servers, offered)
+        assert 0.0 <= value <= 1.0
+        if servers > 1:
+            # More servers at the same offered load -> less waiting.
+            assert erlang_c(servers, offered) <= erlang_c(servers - 1, offered) + 1e-12
+
+
+class TestMMKModel:
+    def test_min_stable_cores(self):
+        assert MMKModel.min_stable_cores(999.0, 1000.0) == 1
+        assert MMKModel.min_stable_cores(1000.0, 1000.0) == 2
+        assert MMKModel.min_stable_cores(3500.0, 1000.0) == 4
+        assert MMKModel.min_stable_cores(0.0, 1000.0) == 1
+
+    def test_sojourn_unstable_is_inf(self):
+        assert math.isinf(MMKModel.mean_sojourn(2000.0, 1000.0, 2))
+
+    def test_sojourn_idle_is_service_time(self):
+        assert MMKModel.mean_sojourn(0.0, 1000.0, 4) == pytest.approx(1e-3)
+
+    def test_mm1_formula(self):
+        # M/M/1: E[T] = 1/(mu - lambda).
+        assert MMKModel.mean_sojourn(500.0, 1000.0, 1) == pytest.approx(1 / 500.0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        mu=st.floats(min_value=10.0, max_value=10_000.0),
+        rho=st.floats(min_value=0.05, max_value=0.9),
+        cores=st.integers(min_value=1, max_value=32),
+    )
+    def test_more_cores_never_hurt(self, mu, rho, cores):
+        lam = rho * cores * mu
+        with_k = MMKModel.mean_sojourn(lam, mu, cores)
+        with_k1 = MMKModel.mean_sojourn(lam, mu, cores + 1)
+        assert with_k1 <= with_k + 1e-12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MMKModel.mean_sojourn(1.0, 0.0, 1)
+        with pytest.raises(ValueError):
+            MMKModel.mean_sojourn(1.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            MMKModel.min_stable_cores(-1.0, 1.0)
+
+
+class TestJacksonNetwork:
+    def test_single_executor_matches_mmk(self):
+        model = JacksonNetworkModel(source_rate=100.0)
+        latency = model.mean_latency([100.0], [1000.0], [1])
+        assert latency == pytest.approx(MMKModel.mean_sojourn(100.0, 1000.0, 1))
+
+    def test_weighted_sum(self):
+        model = JacksonNetworkModel(source_rate=100.0)
+        # Two identical executors each seeing the full stream: latency doubles.
+        one = model.mean_latency([100.0], [1000.0], [1])
+        two = model.mean_latency([100.0, 100.0], [1000.0, 1000.0], [1, 1])
+        assert two == pytest.approx(2 * one)
+
+    def test_unstable_executor_infects_network(self):
+        model = JacksonNetworkModel(source_rate=100.0)
+        assert math.isinf(model.mean_latency([100.0, 5000.0], [1000.0, 1000.0], [1, 1]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JacksonNetworkModel(source_rate=0.0)
+        model = JacksonNetworkModel(source_rate=1.0)
+        with pytest.raises(ValueError):
+            model.mean_latency([1.0], [1.0, 2.0], [1])
+
+
+class TestGreedyAllocator:
+    def test_idle_gets_minimum(self):
+        allocator = GreedyAllocator(latency_target=0.1)
+        allocation = allocator.allocate(
+            [ExecutorDemand("a", 0.0, 1000.0)], total_cores=10
+        )
+        assert allocation.cores == {"a": 1}
+        assert allocation.feasible
+
+    def test_stability_minimum_respected(self):
+        allocator = GreedyAllocator(latency_target=1e9)  # any latency OK
+        allocation = allocator.allocate(
+            [ExecutorDemand("a", 3500.0, 1000.0)], total_cores=100
+        )
+        assert allocation.cores["a"] == 4  # floor(3.5)+1
+
+    def test_adds_cores_to_meet_latency_target(self):
+        allocator = GreedyAllocator(latency_target=0.0015)
+        allocation = allocator.allocate(
+            [ExecutorDemand("a", 900.0, 1000.0)], total_cores=100
+        )
+        # One core: E[T] = 1/(1000-900) = 10 ms >> 1.5 ms target.
+        assert allocation.cores["a"] >= 2
+        assert allocation.feasible
+        assert allocation.expected_latency <= 0.0015
+
+    def test_prioritizes_biggest_improvement(self):
+        allocator = GreedyAllocator(latency_target=1e-6)  # unreachable
+        hot = ExecutorDemand("hot", 950.0, 1000.0)
+        cold = ExecutorDemand("cold", 10.0, 1000.0)
+        allocation = allocator.allocate([hot, cold], total_cores=4)
+        assert allocation.cores["hot"] > allocation.cores["cold"]
+        assert allocation.total_cores == 4  # unreachable target: spend all
+
+    def test_capacity_shortfall_best_effort(self):
+        allocator = GreedyAllocator(latency_target=0.01)
+        demands = [
+            ExecutorDemand("a", 5000.0, 1000.0),  # wants 6
+            ExecutorDemand("b", 5000.0, 1000.0),  # wants 6
+        ]
+        allocation = allocator.allocate(demands, total_cores=8)
+        assert allocation.total_cores <= 8
+        assert all(k >= 1 for k in allocation.cores.values())
+        assert not allocation.feasible
+
+    def test_empty_demands(self):
+        allocation = GreedyAllocator(0.1).allocate([], total_cores=4)
+        assert allocation.cores == {}
+
+    def test_too_few_cores_rejected(self):
+        allocator = GreedyAllocator(latency_target=0.1)
+        with pytest.raises(ValueError):
+            allocator.allocate(
+                [ExecutorDemand("a", 1.0, 1.0), ExecutorDemand("b", 1.0, 1.0)],
+                total_cores=1,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GreedyAllocator(latency_target=0.0)
+        with pytest.raises(ValueError):
+            ExecutorDemand("a", -1.0, 1.0)
+        with pytest.raises(ValueError):
+            ExecutorDemand("a", 1.0, 0.0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        rates=st.lists(
+            st.floats(min_value=0.0, max_value=5000.0), min_size=1, max_size=8
+        ),
+        target_ms=st.floats(min_value=0.5, max_value=100.0),
+    )
+    def test_allocation_invariants(self, rates, target_ms):
+        allocator = GreedyAllocator(latency_target=target_ms / 1000.0)
+        demands = [
+            ExecutorDemand(f"e{i}", rate, 1000.0) for i, rate in enumerate(rates)
+        ]
+        total = 64
+        allocation = allocator.allocate(demands, total_cores=total)
+        assert allocation.total_cores <= total
+        for demand in demands:
+            assert allocation.cores[demand.name] >= 1
+        if allocation.feasible:
+            assert allocation.expected_latency <= target_ms / 1000.0 + 1e-12

@@ -1,0 +1,212 @@
+"""Unit and property tests for Store and Resource."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Environment, Resource, SimulationError, Store, StoreFull
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestStoreBasics:
+    def test_put_then_get_fifo(self, env):
+        store = Store(env)
+        received = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        def producer():
+            for item in "abc":
+                yield store.put(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        times = []
+
+        def consumer():
+            item = yield store.get()
+            times.append((env.now, item))
+
+        def producer():
+            yield env.timeout(2.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert times == [(2.0, "late")]
+
+    def test_capacity_blocks_producer(self, env):
+        store = Store(env, capacity=1)
+        trace = []
+
+        def producer():
+            yield store.put("first")
+            trace.append(("put-first", env.now))
+            yield store.put("second")  # blocked until consumer drains
+            trace.append(("put-second", env.now))
+
+        def consumer():
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert trace == [("put-first", 0.0), ("put-second", 5.0)]
+
+    def test_put_nowait_respects_capacity(self, env):
+        store = Store(env, capacity=2)
+        store.put_nowait(1)
+        store.put_nowait(2)
+        with pytest.raises(StoreFull):
+            store.put_nowait(3)
+
+    def test_len_and_items(self, env):
+        store = Store(env)
+        store.put_nowait("x")
+        store.put_nowait("y")
+        assert len(store) == 2
+        assert store.items == ("x", "y")
+
+    def test_pending_puts_counts_blocked_producers(self, env):
+        store = Store(env, capacity=1)
+        store.put("a")
+        store.put("b")
+        store.put("c")
+        env.run()
+        assert len(store) == 1
+        assert store.pending_puts == 2
+
+    def test_zero_capacity_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_waiting_gets_served_in_order(self, env):
+        store = Store(env)
+        received = []
+
+        def consumer(tag):
+            item = yield store.get()
+            received.append((tag, item))
+
+        env.process(consumer("first"))
+        env.process(consumer("second"))
+
+        def producer():
+            yield env.timeout(1.0)
+            yield store.put("x")
+            yield store.put("y")
+
+        env.process(producer())
+        env.run()
+        assert received == [("first", "x"), ("second", "y")]
+
+
+class TestStoreProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        items=st.lists(st.integers(), min_size=0, max_size=40),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    def test_fifo_order_preserved_under_any_capacity(self, items, capacity):
+        env = Environment()
+        store = Store(env, capacity=capacity)
+        received = []
+
+        def producer():
+            for item in items:
+                yield store.put(item)
+
+        def consumer():
+            for _ in items:
+                value = yield store.get()
+                received.append(value)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert received == items
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        counts=st.lists(st.integers(min_value=1, max_value=5), min_size=1, max_size=6),
+    )
+    def test_multiple_producers_nothing_lost(self, counts):
+        env = Environment()
+        store = Store(env, capacity=3)
+        total = sum(counts)
+        received = []
+
+        def producer(tag, n):
+            for i in range(n):
+                yield store.put((tag, i))
+
+        def consumer():
+            for _ in range(total):
+                value = yield store.get()
+                received.append(value)
+
+        for tag, n in enumerate(counts):
+            env.process(producer(tag, n))
+        env.process(consumer())
+        env.run()
+        assert len(received) == total
+        assert len(set(received)) == total
+        # Per-producer order is preserved even when interleaved.
+        for tag, n in enumerate(counts):
+            seq = [i for t, i in received if t == tag]
+            assert seq == list(range(n))
+
+
+class TestResource:
+    def test_grants_up_to_capacity(self, env):
+        resource = Resource(env, capacity=2)
+        first = resource.request()
+        second = resource.request()
+        third = resource.request()
+        assert first.triggered and second.triggered
+        assert not third.triggered
+        assert resource.in_use == 2
+        assert resource.queued == 1
+
+    def test_release_hands_to_waiter(self, env):
+        resource = Resource(env, capacity=1)
+        resource.request()
+        waiter = resource.request()
+        resource.release()
+        assert waiter.triggered
+        assert resource.in_use == 1
+
+    def test_release_without_request_raises(self, env):
+        resource = Resource(env)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_serializes_critical_section(self, env):
+        resource = Resource(env, capacity=1)
+        spans = []
+
+        def worker(tag, hold):
+            yield resource.request()
+            start = env.now
+            yield env.timeout(hold)
+            resource.release()
+            spans.append((tag, start, env.now))
+
+        env.process(worker("a", 2.0))
+        env.process(worker("b", 3.0))
+        env.run()
+        assert spans == [("a", 0.0, 2.0), ("b", 2.0, 5.0)]

@@ -1,0 +1,104 @@
+"""Unit tests for shard state, process stores, and migration."""
+
+import pytest
+
+from repro.cluster import NetworkFabric, TransferPurpose
+from repro.sim import Environment
+from repro.state import MigrationClock, ProcessStateStore, ShardState, StateError, migrate_shard
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestShardState:
+    def test_defaults(self):
+        shard = ShardState(7)
+        assert shard.shard_id == 7
+        assert shard.nominal_bytes == 32 * 1024
+        assert shard.data == {}
+
+    def test_resize(self):
+        shard = ShardState(0, nominal_bytes=100)
+        shard.resize(500)
+        assert shard.nominal_bytes == 500
+        with pytest.raises(ValueError):
+            shard.resize(-1)
+
+
+class TestProcessStateStore:
+    def test_add_get_remove(self):
+        store = ProcessStateStore("ex0", node_id=0)
+        shard = ShardState(3, nominal_bytes=10)
+        store.add(shard)
+        assert 3 in store
+        assert store.get(3) is shard
+        assert store.remove(3) is shard
+        assert 3 not in store
+
+    def test_double_add_rejected(self):
+        store = ProcessStateStore("ex0", node_id=0)
+        store.add(ShardState(1))
+        with pytest.raises(StateError):
+            store.add(ShardState(1))
+
+    def test_missing_shard_raises(self):
+        store = ProcessStateStore("ex0", node_id=0)
+        with pytest.raises(StateError):
+            store.get(99)
+        with pytest.raises(StateError):
+            store.remove(99)
+
+    def test_total_bytes(self):
+        store = ProcessStateStore("ex0", node_id=0)
+        store.add(ShardState(1, nominal_bytes=100))
+        store.add(ShardState(2, nominal_bytes=200))
+        assert store.total_bytes() == 300
+        assert store.shard_ids == (1, 2)
+
+
+class TestMigration:
+    def test_cross_node_migration_moves_state_and_pays_network(self, env):
+        fabric = NetworkFabric(env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.01)
+        src = ProcessStateStore("ex0", node_id=0)
+        dst = ProcessStateStore("ex0", node_id=1)
+        shard = ShardState(5, nominal_bytes=100_000)
+        shard.data[42] = "sticky"
+        src.add(shard)
+
+        proc = env.process(migrate_shard(env, fabric, src, dst, 5))
+        env.run()
+
+        assert 5 not in src
+        assert dst.get(5).data[42] == "sticky"
+        assert fabric.bytes_by_purpose[TransferPurpose.STATE_MIGRATION].total == 100_000
+        # 0.1 s network + 0.01 latency + 2 * serialization.
+        expected = 0.1 + 0.01 + 2 * MigrationClock().serialization_delay(100_000)
+        assert proc.value == pytest.approx(expected)
+
+    def test_same_node_migration_forbidden_between_identical_stores(self, env):
+        from repro.sim import ProcessCrash
+
+        fabric = NetworkFabric(env, num_nodes=1)
+        store = ProcessStateStore("ex0", node_id=0)
+        store.add(ShardState(1))
+        env.process(migrate_shard(env, fabric, store, store, 1))
+        with pytest.raises(ProcessCrash, match="identical src and dst"):
+            env.run()
+
+    def test_migration_duration_scales_with_size(self, env):
+        fabric = NetworkFabric(env, num_nodes=2, bandwidth_bytes_per_s=1.25e8, base_latency=0.5e-3)
+        durations = {}
+        for node_pair, size in [((0, 1), 32 * 1024), ((1, 0), 32 * 1024 * 1024)]:
+            src = ProcessStateStore("ex", node_id=node_pair[0])
+            dst = ProcessStateStore("ex", node_id=node_pair[1])
+            src.add(ShardState(0, nominal_bytes=size))
+            proc = env.process(migrate_shard(env, fabric, src, dst, 0))
+            env.run()
+            durations[size] = proc.value
+        assert durations[32 * 1024 * 1024] > 50 * durations[32 * 1024]
+
+    def test_clock_validation(self):
+        with pytest.raises(ValueError):
+            MigrationClock(serialization_bytes_per_s=0)

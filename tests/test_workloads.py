@@ -1,0 +1,190 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.workloads import (
+    KeyShuffler,
+    MicroBenchmarkWorkload,
+    SSEWorkload,
+    ZipfKeyDistribution,
+)
+
+
+class TestZipfKeyDistribution:
+    def test_probabilities_sum_to_one(self):
+        dist = ZipfKeyDistribution(100, skew=0.5, seed=1)
+        total = sum(dist.probability(k) for k in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_skew_shapes_distribution(self):
+        flat = ZipfKeyDistribution(100, skew=0.0, seed=1)
+        skewed = ZipfKeyDistribution(100, skew=1.0, seed=1)
+        hottest_flat = flat.probability(flat.hottest_keys(1)[0])
+        hottest_skewed = skewed.probability(skewed.hottest_keys(1)[0])
+        assert hottest_skewed > 5 * hottest_flat
+        assert hottest_flat == pytest.approx(0.01)
+
+    def test_sample_respects_distribution(self):
+        dist = ZipfKeyDistribution(10, skew=1.0, seed=3)
+        samples = dist.sample(20_000)
+        hottest = dist.hottest_keys(1)[0]
+        coldest = dist.hottest_keys(10)[-1]
+        assert samples.count(hottest) > 3 * samples.count(coldest)
+
+    def test_shuffle_moves_hot_keys(self):
+        dist = ZipfKeyDistribution(1000, skew=1.0, seed=5)
+        before = dist.hottest_keys(10)
+        dist.shuffle()
+        after = dist.hottest_keys(10)
+        assert before != after
+        assert dist.shuffle_count == 1
+
+    def test_shuffle_preserves_shape(self):
+        dist = ZipfKeyDistribution(50, skew=0.8, seed=2)
+        top_before = dist.probability(dist.hottest_keys(1)[0])
+        dist.shuffle()
+        top_after = dist.probability(dist.hottest_keys(1)[0])
+        assert top_before == pytest.approx(top_after)
+
+    def test_deterministic_given_seed(self):
+        a = ZipfKeyDistribution(100, seed=9).sample(50)
+        b = ZipfKeyDistribution(100, seed=9).sample(50)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfKeyDistribution(0)
+        with pytest.raises(ValueError):
+            ZipfKeyDistribution(10, skew=-1)
+
+
+class TestKeyShuffler:
+    def test_applies_omega_shuffles_per_minute(self):
+        env = Environment()
+        dist = ZipfKeyDistribution(100, seed=1)
+        shuffler = KeyShuffler(env, dist, shuffles_per_minute=4.0)
+        shuffler.start()
+        env.run(until=60.0)
+        assert dist.shuffle_count == 4
+        assert shuffler.shuffle_times == [15.0, 30.0, 45.0, 60.0]
+
+    def test_omega_zero_never_shuffles(self):
+        env = Environment()
+        dist = ZipfKeyDistribution(100, seed=1)
+        KeyShuffler(env, dist, shuffles_per_minute=0.0).start()
+        env.run(until=120.0)
+        assert dist.shuffle_count == 0
+
+    def test_validation(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            KeyShuffler(env, ZipfKeyDistribution(10), shuffles_per_minute=-1)
+
+
+class TestMicroBenchmarkWorkload:
+    def test_schedule_rate(self):
+        env = Environment()
+        workload = MicroBenchmarkWorkload(rate=10_000, batch_size=20, seed=1)
+        total = 0
+        for emit_time, batch in workload.schedule(env, 0, 1, duration=5.0):
+            assert batch.created_at == emit_time
+            total += batch.count
+        assert total == pytest.approx(50_000, rel=0.01)
+
+    def test_rate_split_across_instances(self):
+        env = Environment()
+        workload = MicroBenchmarkWorkload(rate=10_000, batch_size=20, seed=1)
+        totals = []
+        for i in range(4):
+            totals.append(
+                sum(b.count for _, b in workload.schedule(env, i, 4, duration=2.0))
+            )
+        for total in totals:
+            assert total == pytest.approx(5_000, rel=0.02)
+
+    def test_batches_carry_workload_parameters(self):
+        env = Environment()
+        workload = MicroBenchmarkWorkload(
+            rate=1000, cost_per_tuple=2e-3, tuple_bytes=512, batch_size=10, seed=1
+        )
+        _, batch = next(iter(workload.schedule(env, 0, 1, duration=1.0)))
+        assert batch.cpu_cost == 2e-3
+        assert batch.size_bytes == 512
+        assert batch.count == 10
+
+    def test_topology_defaults(self):
+        workload = MicroBenchmarkWorkload()
+        topology = workload.build_topology()
+        assert topology.sources() == ["generator"]
+        assert topology.sinks() == ["calculator"]
+        calc = topology.spec("calculator")
+        assert calc.num_executors == 32
+        assert calc.shards_per_executor == 256
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBenchmarkWorkload(rate=0)
+        with pytest.raises(ValueError):
+            MicroBenchmarkWorkload(batch_size=0)
+        env = Environment()
+        with pytest.raises(ValueError):
+            next(MicroBenchmarkWorkload().schedule(env, 5, 2))
+
+
+class TestSSEWorkload:
+    def test_schedule_rate(self):
+        env = Environment()
+        workload = SSEWorkload(rate=5_000, num_stocks=50, batch_size=10, seed=1)
+        total = sum(b.count for _, b in workload.schedule(env, 0, 1, duration=5.0))
+        assert total == pytest.approx(25_000, rel=0.02)
+
+    def test_popular_stocks_get_more_orders(self):
+        env = Environment()
+        workload = SSEWorkload(rate=20_000, num_stocks=50, batch_size=10, seed=1)
+        counts = {}
+        for _, batch in workload.schedule(env, 0, 1, duration=5.0):
+            counts[batch.key] = counts.get(batch.key, 0) + batch.count
+        # Stock ids are popularity ranks: 0 is hottest.
+        assert counts.get(0, 0) > counts.get(49, 0)
+
+    def test_rates_fluctuate_over_time(self):
+        workload = SSEWorkload(rate=10_000, num_stocks=20, seed=3)
+        rates = [workload.stock_rate(0, tick) for tick in range(0, 3000, 300)]
+        assert max(rates) > 1.5 * min(rates)  # bursts + drift
+
+    def test_real_payload_mode_generates_orders(self):
+        env = Environment()
+        workload = SSEWorkload(rate=1000, num_stocks=10, real_payloads=True, seed=1)
+        _, batch = next(iter(workload.schedule(env, 0, 1, duration=1.0)))
+        assert batch.payload is not None
+        assert len(batch.payload) == batch.count
+        assert all(order.stock_id == batch.key for order in batch.payload)
+
+    def test_arrival_series_tracks_generation(self):
+        env = Environment()
+        workload = SSEWorkload(rate=10_000, num_stocks=20, batch_size=10, seed=1)
+        for _ in workload.schedule(env, 0, 1, duration=10.0):
+            pass
+        series = workload.arrival_series([0, 1], window_ticks=10)
+        assert len(series[0]) >= 9
+        total_generated = sum(
+            sum(counts.values()) for counts in workload.arrival_counts.values()
+        )
+        assert total_generated == pytest.approx(workload.generated_tuples)
+        assert sum(rate for _, rate in series[0]) > 0
+        assert sum(rate for _, rate in series[1]) > 0
+
+    def test_topology_structure(self):
+        workload = SSEWorkload(num_stocks=100)
+        topology = workload.build_topology(executors_per_operator=8)
+        assert topology.sources() == ["orders"]
+        assert topology.downstream("orders") == ["transactor"]
+        assert len(topology.downstream("transactor")) == 11
+        assert len(topology.sinks()) == 11
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SSEWorkload(rate=0)
+        with pytest.raises(ValueError):
+            SSEWorkload(num_stocks=0)
