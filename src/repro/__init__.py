@@ -19,6 +19,7 @@ Public API highlights:
 
 from repro.executors import ElasticExecutor, RCOperatorManager, StaticExecutor
 from repro.executors.config import ExecutorConfig
+from repro.faults import FaultEvent, FaultKind, FaultSpec
 from repro.logic import (
     OperatorLogic,
     OrderBook,
@@ -37,6 +38,9 @@ __all__ = [
     "DynamicScheduler",
     "ElasticExecutor",
     "ExecutorConfig",
+    "FaultEvent",
+    "FaultKind",
+    "FaultSpec",
     "GreedyAllocator",
     "KeySpace",
     "MicroBenchmarkWorkload",

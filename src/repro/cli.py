@@ -5,6 +5,7 @@ Run single experiments or paradigm comparisons without writing code::
     python -m repro run --paradigm elasticutor --rate 17000 --duration 60
     python -m repro compare --workload sse --rate 25000
     python -m repro scale-out --cores 1 2 4 8 16
+    python -m repro faults --fault-spec "node_crash@30:node=5"
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import sys
 import typing
 
 from repro.analysis import ResultTable, SingleExecutorHarness
+from repro.faults import FaultSpec
 from repro.runtime import Paradigm, StreamSystem, SystemConfig
 from repro.workloads import MicroBenchmarkWorkload, SSEWorkload
 
@@ -53,6 +55,9 @@ def _build_config(args: argparse.Namespace, paradigm: Paradigm) -> SystemConfig:
         source_instances=args.sources,
         latency_target=args.latency_target_ms / 1000.0,
         enable_hybrid=args.hybrid,
+        fault_spec=getattr(args, "fault_spec", None),
+        detection_delay=getattr(args, "detection_delay", 0.25),
+        state_rebuild_bytes_per_s=getattr(args, "rebuild_mbps", 100.0) * 1e6,
     )
 
 
@@ -88,6 +93,35 @@ def cmd_compare(args: argparse.Namespace) -> int:
             result.remote_transfer_rate / 1e6,
         )
         print(f"... {paradigm.value} done", file=sys.stderr)
+    print(table.render())
+    return 0
+
+
+def cmd_faults(args: argparse.Namespace) -> int:
+    """Fault-injection demo: same fault schedule, one row per paradigm."""
+    spec_text = args.fault_spec or f"node_crash@{args.fault_time}:node={args.nodes - 1}"
+    spec = FaultSpec.load(spec_text)
+    args.fault_spec = spec
+    print(f"fault schedule: {spec.to_dsl()}", file=sys.stderr)
+    table = ResultTable(
+        f"fault recovery — {args.workload} workload, "
+        f"{args.rate:,.0f} tuples/s offered",
+        ["paradigm", "throughput (t/s)", "p99 (ms)", "tuples lost",
+         "rerouted", "downtime (s)", "steady state (s)"],
+    )
+    for name in args.paradigms:
+        result = _run_once(args, PARADIGM_NAMES[name])
+        recovery = result.recovery
+        table.add_row(
+            PARADIGM_NAMES[name].value,
+            result.throughput_tps,
+            result.latency["p99"] * 1e3,
+            recovery["tuples_lost"],
+            recovery["tuples_rerouted"],
+            recovery["downtime_seconds"],
+            result.time_to_steady_state,
+        )
+        print(f"... {name} done", file=sys.stderr)
     print(table.render())
     return 0
 
@@ -137,6 +171,15 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--hybrid", action="store_true",
                         help="enable the hybrid split/merge controller")
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--fault-spec", default=None,
+        help="fault schedule: DSL text ('node_crash@30:node=5;...'), JSON, "
+             "or a path to a spec file (see docs/faults.md)",
+    )
+    parser.add_argument("--detection-delay", type=float, default=0.25,
+                        help="seconds between a failure and recovery start")
+    parser.add_argument("--rebuild-mbps", type=float, default=100.0,
+                        help="state rebuild rate in MB/s for lost replicas")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +199,20 @@ def build_parser() -> argparse.ArgumentParser:
     compare_parser = sub.add_parser("compare", help="run all four paradigms")
     _add_common(compare_parser)
     compare_parser.set_defaults(func=cmd_compare)
+
+    faults_parser = sub.add_parser(
+        "faults", help="fault-injection demo across paradigms"
+    )
+    faults_parser.add_argument(
+        "--paradigms", nargs="+", choices=sorted(PARADIGM_NAMES),
+        default=["elasticutor", "rc", "static"],
+    )
+    faults_parser.add_argument(
+        "--fault-time", type=float, default=30.0,
+        help="crash time for the default single-node-crash schedule",
+    )
+    _add_common(faults_parser)
+    faults_parser.set_defaults(func=cmd_faults)
 
     scale_parser = sub.add_parser(
         "scale-out", help="scale one elastic executor over CPU cores"

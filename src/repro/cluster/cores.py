@@ -24,6 +24,7 @@ class CoreManager:
         self._free = dict(self._capacity)
         # owner -> node_id -> held cores
         self._held: typing.Dict[typing.Any, typing.Dict[int, int]] = {}
+        self._failed: typing.Set[int] = set()
 
     @property
     def total_capacity(self) -> int:
@@ -52,6 +53,8 @@ class CoreManager:
             raise CoreAllocationError(f"allocation count must be >= 1, got {count}")
         if node_id not in self._free:
             raise CoreAllocationError(f"unknown node {node_id}")
+        if node_id in self._failed:
+            raise CoreAllocationError(f"node {node_id} has failed")
         if self._free[node_id] < count:
             raise CoreAllocationError(
                 f"node {node_id} has {self._free[node_id]} free cores, need {count}"
@@ -81,5 +84,65 @@ class CoreManager:
         """node_id -> free cores (copy), for the assignment solver."""
         return dict(self._free)
 
+    def capacity_by_node(self) -> typing.Dict[int, int]:
+        """node_id -> current capacity (copy); failed nodes report 0."""
+        return dict(self._capacity)
+
     def nodes_with_free_cores(self) -> typing.List[int]:
         return [node_id for node_id, free in self._free.items() if free > 0]
+
+    def failed_nodes(self) -> typing.Set[int]:
+        return set(self._failed)
+
+    def fail_node(self, node_id: int) -> typing.Dict[typing.Any, int]:
+        """Withdraw every core on ``node_id`` (node crash).
+
+        Capacity and free count drop to zero and all holdings on the node
+        are stripped.  Returns ``owner -> cores withdrawn`` so the caller
+        can drive per-owner recovery.  Idempotent.
+        """
+        if node_id not in self._capacity:
+            raise CoreAllocationError(f"unknown node {node_id}")
+        if node_id in self._failed:
+            return {}
+        self._failed.add(node_id)
+        self._capacity[node_id] = 0
+        self._free[node_id] = 0
+        withdrawn: typing.Dict[typing.Any, int] = {}
+        for owner, holdings in list(self._held.items()):
+            count = holdings.pop(node_id, 0)
+            if count:
+                withdrawn[owner] = count
+            if not holdings:
+                del self._held[owner]
+        return withdrawn
+
+    def fail_core(self, node_id: int) -> typing.Optional[typing.Any]:
+        """Permanently lose one core on ``node_id`` (single-core failure).
+
+        A free core is consumed first; otherwise the core is seized from
+        the owner holding the most cores on the node (deterministic
+        tie-break on the owner's string form).  Returns the owner whose
+        core died, or ``None`` if an idle core absorbed the failure.
+        """
+        if node_id not in self._capacity:
+            raise CoreAllocationError(f"unknown node {node_id}")
+        if node_id in self._failed or self._capacity[node_id] == 0:
+            return None
+        self._capacity[node_id] -= 1
+        if self._free[node_id] > 0:
+            self._free[node_id] -= 1
+            return None
+        owners = [
+            (owner, holdings[node_id])
+            for owner, holdings in self._held.items()
+            if holdings.get(node_id, 0) > 0
+        ]
+        owner = max(owners, key=lambda pair: (pair[1], str(pair[0])))[0]
+        holdings = self._held[owner]
+        holdings[node_id] -= 1
+        if holdings[node_id] == 0:
+            del holdings[node_id]
+        if not holdings:
+            del self._held[owner]
+        return owner

@@ -60,6 +60,11 @@ class NetworkFabric:
         self.base_latency = base_latency
         self._egress = [_Link(bandwidth_bytes_per_s) for _ in range(num_nodes)]
         self._ingress = [_Link(bandwidth_bytes_per_s) for _ in range(num_nodes)]
+        # Fault-injection hooks: a bandwidth multiplier per node (gray
+        # degradation) and an outage horizon per node (partition) before
+        # which no transfer touching the node may start.
+        self._bandwidth_factor = [1.0] * num_nodes
+        self._outage_until = [0.0] * num_nodes
         self.bytes_by_purpose: typing.Dict[TransferPurpose, ByteCounter] = {
             purpose: ByteCounter() for purpose in TransferPurpose
         }
@@ -91,8 +96,18 @@ class NetworkFabric:
         # Cut-through reservation: the transfer occupies both NICs over the
         # same interval, so an uncontended transfer pays bytes/bandwidth once
         # while contention on either endpoint still delays it.
-        start = max(now, egress.busy_until, ingress.busy_until)
-        finish = start + nbytes / min(egress.bandwidth, ingress.bandwidth)
+        start = max(
+            now,
+            egress.busy_until,
+            ingress.busy_until,
+            self._outage_until[src_node],
+            self._outage_until[dst_node],
+        )
+        bandwidth = min(
+            egress.bandwidth * self._bandwidth_factor[src_node],
+            ingress.bandwidth * self._bandwidth_factor[dst_node],
+        )
+        finish = start + nbytes / bandwidth
         egress.busy_until = finish
         ingress.busy_until = finish
         event._ok = True
@@ -104,7 +119,25 @@ class NetworkFabric:
         """Uncontended duration estimate (for the scheduler's cost model)."""
         if src_node == dst_node:
             return self.LOCAL_DELIVERY_LATENCY
-        return nbytes / self._egress[src_node].bandwidth + self.base_latency
+        bandwidth = self._egress[src_node].bandwidth * self._bandwidth_factor[src_node]
+        return nbytes / bandwidth + self.base_latency
+
+    def set_bandwidth_factor(self, node_id: int, factor: float) -> None:
+        """Degrade (factor < 1) or restore (factor = 1) a node's links."""
+        if factor <= 0:
+            raise ValueError(f"bandwidth factor must be positive, got {factor}")
+        self._bandwidth_factor[node_id] = factor
+
+    def bandwidth_factor(self, node_id: int) -> float:
+        return self._bandwidth_factor[node_id]
+
+    def partition_until(self, node_id: int, until: float) -> None:
+        """Cut the node off: no transfer touching it starts before ``until``.
+
+        Queued bytes are delayed, not dropped — the fabric models TCP-style
+        reliable links, so a healed partition delivers the backlog.
+        """
+        self._outage_until[node_id] = max(self._outage_until[node_id], until)
 
     def utilization_snapshot(self) -> typing.Dict[str, float]:
         """Busy horizons per link relative to now (diagnostics)."""

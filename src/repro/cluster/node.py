@@ -24,7 +24,7 @@ class Node:
     handling — they only ever see measured rates.
     """
 
-    __slots__ = ("node_id", "num_cores", "speed_factor")
+    __slots__ = ("node_id", "num_cores", "speed_factor", "alive")
 
     def __init__(
         self, node_id: int, num_cores: int = 8, speed_factor: float = 1.0
@@ -36,6 +36,7 @@ class Node:
         self.node_id = node_id
         self.num_cores = num_cores
         self.speed_factor = speed_factor
+        self.alive = True
 
     def __repr__(self) -> str:
         return f"Node({self.node_id}, cores={self.num_cores})"
@@ -88,6 +89,22 @@ class Cluster:
         if speed_factor <= 0:
             raise ValueError(f"speed_factor must be positive, got {speed_factor}")
         self.nodes[node_id].speed_factor = speed_factor
+
+    def is_alive(self, node_id: int) -> bool:
+        return self.nodes[node_id].alive
+
+    def alive_nodes(self) -> typing.List[int]:
+        return [node.node_id for node in self.nodes if node.alive]
+
+    def fail_node(self, node_id: int) -> typing.Dict[typing.Any, int]:
+        """Crash a node: mark it dead and withdraw its cores from the ledger.
+
+        Returns ``owner -> cores withdrawn``.  Killing the owners' task
+        processes and re-homing their state is the fault coordinator's job
+        (:mod:`repro.faults.recovery`) — this only flips the hardware view.
+        """
+        self.nodes[node_id].alive = False
+        return self.cores.fail_node(node_id)
 
     def __repr__(self) -> str:
         return f"Cluster(nodes={self.num_nodes}, cores={self.total_cores})"

@@ -96,6 +96,12 @@ class ElasticExecutor:
         self._sink_recorder: typing.Optional[typing.Callable] = None
         self._started = False
         self._enable_balancer = True
+        self._daemons: typing.List[typing.Any] = []
+        #: False between a fatal crash and the completed restart; the
+        #: scheduler ignores dead executors.
+        self.alive = True
+        #: Gray-failure hook: relative processing speed (0.25 = 4x slower).
+        self.stall_factor = 1.0
         #: Set by the hybrid controller: operator-level in-flight counter
         #: decremented as this executor completes batches.
         self.operator_in_flight: typing.Optional[typing.Any] = None
@@ -163,10 +169,12 @@ class ElasticExecutor:
         tasks = list(self.tasks.values())
         for shard_id in range(self.num_shards):
             self.routing.assign(shard_id, tasks[shard_id % len(tasks)])
-        self.env.process(self._receiver_loop())
-        self.env.process(self._emitter_loop())
+        self._daemons = [
+            self.env.process(self._receiver_loop()),
+            self.env.process(self._emitter_loop()),
+        ]
         if self._enable_balancer:
-            self.env.process(self._balance_loop())
+            self._daemons.append(self.env.process(self._balance_loop()))
 
     # -- data plane -------------------------------------------------------
 
@@ -203,10 +211,10 @@ class ElasticExecutor:
         if batch.trace is not None:
             batch.trace["task_start"] = self.env.now
         cost = self.logic.cpu_seconds(batch) if self.logic else 0.0
-        # Wall time on this core; slow nodes (stragglers) take longer,
-        # and everything downstream — shard loads, µ, the scheduler —
-        # sees the measured reality, not the nominal cost.
-        cost = cost / self.cluster.speed(task.node_id)
+        # Wall time on this core; slow nodes (stragglers) and injected
+        # stalls take longer, and everything downstream — shard loads, µ,
+        # the scheduler — sees the measured reality, not the nominal cost.
+        cost = cost / (self.cluster.speed(task.node_id) * self.stall_factor)
         if cost > 0:
             yield self.env.timeout(cost)
         shard_id = shard_of_key(batch.key, self.num_shards)
@@ -228,6 +236,9 @@ class ElasticExecutor:
             self.operator_in_flight.decrement()
         if batch.trace is not None:
             batch.trace["done"] = now
+        # Commit point: state applied and accounted.  A crash from here on
+        # must not count the batch as lost (and must not re-apply it).
+        task.current_item = None
         if self.is_sink:
             if self._sink_recorder is not None:
                 self._sink_recorder(batch, now)
@@ -285,6 +296,8 @@ class ElasticExecutor:
         """
         yield self._control.request()
         try:
+            if not self.cluster.node(node_id).alive:
+                return  # the node crashed after this growth was planned
             if node_id != self.local_node and node_id not in self.stores:
                 self.stores[node_id] = ProcessStateStore(self.name, node_id)
                 self._remote_senders[node_id] = WindowedSender(
@@ -293,6 +306,10 @@ class ElasticExecutor:
                 )
                 if self.config.remote_process_spawn_seconds > 0:
                     yield self.env.timeout(self.config.remote_process_spawn_seconds)
+                if not self.cluster.node(node_id).alive:
+                    self.stores.pop(node_id, None)
+                    self._remote_senders.pop(node_id, None)
+                    return  # crashed while the remote process was spawning
             self._create_task(node_id)
             yield from self._rebalance_locked()
         finally:
@@ -397,9 +414,11 @@ class ElasticExecutor:
     def _reassign(self, shard_id: int, dst_task: Task) -> typing.Generator:
         entry = self.routing.entry(shard_id)
         src_task = entry.task
-        if src_task is dst_task or src_task is None:
-            if src_task is None:
-                self.routing.assign(shard_id, dst_task)
+        if src_task is dst_task:
+            return
+        if src_task is None:
+            # The shard was orphaned by a crash; recovery owns it (state
+            # may need rebuilding first), so balancing leaves it alone.
             return
         started = self.env.now
         if self.config.reassignment_overhead > 0:
@@ -411,6 +430,24 @@ class ElasticExecutor:
         yield from self._forward(LabelTuple(shard_id, label_event), src_task)
         yield label_event
         sync_done = self.env.now
+        # Re-validate after the drain: a crash may have intervened (dead
+        # queues succeed their labels via the dead-letter reaper).
+        if entry.task is not src_task:
+            # Crash recovery orphaned or already re-homed the shard —
+            # abandon this move, recovery owns it now.
+            return
+        if dst_task.stopped or dst_task.task_id not in self.tasks:
+            live = [t for t in self.tasks.values() if not t.stopped]
+            if not live:
+                # Every core died mid-move; leave the shard paused for the
+                # fault coordinator to re-home or rebuild.
+                return
+            dst_task = min(live, key=lambda t: (self._task_load(t), t.task_id))
+            if dst_task is src_task:
+                while entry.buffer:
+                    yield from self._forward(entry.buffer.popleft(), src_task)
+                entry.paused = False
+                return
         # 3. Migrate state only across processes (intra-process sharing).
         # With an external state store nothing ever moves — that design's
         # whole appeal (its cost lives in every state access instead).
@@ -451,6 +488,247 @@ class ElasticExecutor:
                 migrated_bytes=migrated_bytes,
             )
         )
+
+    # -- fault recovery (fail-stop crashes, see repro.faults) --------------
+
+    def _kill_task(self, task: Task, reaper: typing.Any) -> typing.List[int]:
+        """Destroy one task abruptly; dead-letter everything it held.
+
+        Returns the task's orphaned shard ids.  Lock-free on purpose: the
+        hardware is gone *now*, and an in-flight reassignment may be
+        blocked on a label sitting in this very queue — the reaper
+        releases it.
+        """
+        for item in task.kill():
+            reaper.account(item)
+        orphans = self.routing.orphan_task(task)
+        self.tasks.pop(task.task_id, None)
+        reaper.watch(task.queue)  # late network deliveries die with the core
+        return orphans
+
+    def crash_tasks(
+        self, victims: typing.Sequence[Task], reaper: typing.Any
+    ) -> typing.List[int]:
+        """Fail-stop a subset of tasks (their cores died).
+
+        Queued and in-flight work is dead-lettered with exact counters;
+        the victims' shards pause, buffering new arrivals until
+        :meth:`rehome_orphans` runs after the detection delay.
+        """
+        orphans: typing.List[int] = []
+        for task in sorted(victims, key=lambda t: t.task_id):
+            orphans.extend(self._kill_task(task, reaper))
+        return sorted(orphans)
+
+    def crash_main(self, reaper: typing.Any) -> None:
+        """The executor's main process dies (its node crashed).
+
+        Everything goes: daemons, all tasks, queues, pause buffers.  The
+        executor stays registered with the system but ``alive=False``
+        until :meth:`restart_on_node` rebuilds it elsewhere.
+        """
+        self.alive = False
+        for daemon in self._daemons:
+            waiting = daemon.kill()
+            if waiting is not None:
+                self.input_queue.cancel(waiting)
+                self._emitter_queue.cancel(waiting)
+        self._daemons = []
+        for task in sorted(self.tasks.values(), key=lambda t: t.task_id):
+            for item in task.kill():
+                reaper.account(item)
+            reaper.watch(task.queue)
+        self.tasks.clear()
+        for entry in self.routing._entries:
+            while entry.buffer:
+                reaper.account(entry.buffer.popleft())
+            entry.task = None
+            entry.paused = True
+        for item in self.input_queue.drain():
+            reaper.account(item)
+        reaper.watch(self.input_queue)
+        for item in self._emitter_queue.drain():
+            reaper.account(item)
+        reaper.watch(self._emitter_queue)
+
+    def restart_on_node(
+        self,
+        new_node: int,
+        stats: typing.Any,
+        rebuild_rate: float,
+        spawn_delay: float = 0.0,
+        extra_nodes: typing.Sequence[int] = (),
+    ) -> typing.Generator:
+        """Rebuild the whole executor on ``new_node`` after a fatal crash.
+
+        Simulation process body.  Fresh plumbing is installed first, so
+        upstream traffic re-targets the new address and backpressures
+        losslessly while the restart pays the process-spawn delay and the
+        state rebuild (the only replica died with the old node).
+
+        ``extra_nodes`` are additional pre-allocated cores (one task
+        each, duplicates meaning several tasks on one node): because the
+        routing table is rebuilt from scratch *before* the daemons start,
+        shards spread over all tasks with no reassignment protocol, and
+        the per-process rebuilds overlap — both the spawn delay and the
+        state rebuild are paid once, not per core.
+        """
+        started = self.env.now
+        self.local_node = new_node
+        self.input_queue = Store(self.env, capacity=self.config.input_queue_capacity)
+        self._emitter_queue = Store(
+            self.env, capacity=self.config.emitter_queue_capacity
+        )
+        self._receiver_sender = WindowedSender(
+            self.env, self.cluster.network, new_node, window=self.config.send_window
+        )
+        self._emitter_sender = WindowedSender(
+            self.env, self.cluster.network, new_node, window=self.config.send_window
+        )
+        self._remote_senders = {}
+        self._control = Resource(self.env)
+        self.stores = {new_node: ProcessStateStore(self.name, new_node)}
+        self.routing = RoutingTable(self.num_shards)
+        self._shard_cost_accum = [0.0] * self.num_shards
+        self._shard_load = [0.0] * self.num_shards
+        if spawn_delay > 0:
+            yield self.env.timeout(spawn_delay)
+        tasks = []
+        for node_id in [new_node, *extra_nodes]:
+            if node_id != new_node and node_id not in self.stores:
+                self.stores[node_id] = ProcessStateStore(self.name, node_id)
+                self._remote_senders[node_id] = WindowedSender(
+                    self.env, self.cluster.network, node_id,
+                    window=self.config.send_window,
+                )
+            tasks.append(self._create_task(node_id))
+        per_store: typing.Dict[int, int] = {}
+        for shard_id in range(self.num_shards):
+            task = tasks[shard_id % len(tasks)]
+            if self.external_state is None:
+                shard = ShardState(shard_id, nominal_bytes=self.spec.shard_state_bytes)
+                self.stores[task.node_id].add(shard)
+                per_store[task.node_id] = (
+                    per_store.get(task.node_id, 0) + shard.nominal_bytes
+                )
+            self.routing.assign(shard_id, task)
+        rebuilt_bytes = sum(per_store.values())
+        if rebuilt_bytes and rebuild_rate > 0:
+            # One rebuild stream per process, all running concurrently.
+            yield self.env.timeout(max(per_store.values()) / rebuild_rate)
+        if rebuilt_bytes:
+            stats.shards_rebuilt.add(self.num_shards)
+            stats.state_bytes_rebuilt.add(rebuilt_bytes)
+        self.alive = True
+        self._daemons = [
+            self.env.process(self._receiver_loop()),
+            self.env.process(self._emitter_loop()),
+        ]
+        if self._enable_balancer:
+            self._daemons.append(self.env.process(self._balance_loop()))
+        stats.add_downtime(self.env.now - started)
+
+    def rehome_orphans(
+        self,
+        orphan_shards: typing.Sequence[int],
+        failed_node: int,
+        stats: typing.Any,
+        rebuild_rate: float,
+        lose_state: bool = True,
+    ) -> typing.Generator:
+        """Re-home orphaned shards onto the surviving tasks.
+
+        Simulation process body.  ``lose_state=True`` models the only
+        state replica dying with its process (node crash): each shard is
+        rebuilt from scratch at ``rebuild_rate`` bytes/s.  With
+        ``lose_state=False`` (core failure — the hosting process lives)
+        state migrates instead: free to a same-node task thanks to
+        intra-process sharing, serialization + transfer otherwise.
+        """
+        yield self._control.request()
+        try:
+            if lose_state and failed_node != self.local_node:
+                self.stores.pop(failed_node, None)
+                self._remote_senders.pop(failed_node, None)
+            survivors = [t for t in self.tasks.values() if not t.stopped]
+            orphans = [
+                s for s in sorted(orphan_shards) if self.routing.entry(s).task is None
+            ]
+            if not survivors or not orphans:
+                return
+            shard_loads = {i: self._shard_load[i] for i in range(self.num_shards)}
+            placement = self._balancer.spread_plan(
+                shard_loads,
+                orphans,
+                survivors,
+                initial_loads={t: self._task_load(t) for t in survivors},
+            )
+            for shard_id, dst_task in sorted(placement.items()):
+                if dst_task.stopped or dst_task.task_id not in self.tasks:
+                    live = [t for t in self.tasks.values() if not t.stopped]
+                    if not live:
+                        return
+                    dst_task = min(live, key=lambda t: (self._task_load(t), t.task_id))
+                entry = self.routing.entry(shard_id)
+                yield from self._restore_shard_state(
+                    shard_id, dst_task, stats, rebuild_rate, lose_state
+                )
+                self.routing.assign(shard_id, dst_task)
+                flushed = 0
+                while entry.buffer:
+                    item = entry.buffer.popleft()
+                    if isinstance(item, TupleBatch):
+                        flushed += item.count
+                    yield from self._forward(item, dst_task)
+                entry.paused = False
+                if flushed:
+                    stats.tuples_rerouted.add(flushed)
+        finally:
+            self._control.release()
+
+    def _restore_shard_state(
+        self,
+        shard_id: int,
+        dst_task: Task,
+        stats: typing.Any,
+        rebuild_rate: float,
+        lose_state: bool,
+    ) -> typing.Generator:
+        """Make ``shard_id``'s state available at ``dst_task``'s process."""
+        if self.external_state is not None:
+            return  # state lives off-cluster; the failure never touched it
+        dst_store = self.stores.get(dst_task.node_id)
+        if dst_store is None:
+            dst_store = self.stores[dst_task.node_id] = ProcessStateStore(
+                self.name, dst_task.node_id
+            )
+        if shard_id in dst_store:
+            return
+        src_node = None
+        if not lose_state:
+            for node_id in sorted(self.stores):
+                if shard_id in self.stores[node_id]:
+                    src_node = node_id
+                    break
+        if src_node is None:
+            # Only replica died: pay the rebuild penalty (replay/recompute).
+            shard = ShardState(shard_id, nominal_bytes=self.spec.shard_state_bytes)
+            if rebuild_rate > 0 and shard.nominal_bytes:
+                yield self.env.timeout(shard.nominal_bytes / rebuild_rate)
+            dst_store.add(shard)
+            stats.shards_rebuilt.add(1)
+            stats.state_bytes_rebuilt.add(shard.nominal_bytes)
+            return
+        nbytes = self.stores[src_node].get(shard_id).nominal_bytes
+        yield from migrate_shard(
+            self.env,
+            self.cluster.network,
+            self.stores[src_node],
+            dst_store,
+            shard_id,
+            self.migration_clock,
+        )
+        stats.bytes_remigrated.add(nbytes)
 
     def __repr__(self) -> str:
         return f"ElasticExecutor({self.name}, cores={self.num_cores})"

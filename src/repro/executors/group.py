@@ -146,6 +146,22 @@ class SourceInstance:
     def connect(self, downstream_groups: typing.Sequence[typing.Any]) -> None:
         self._groups = list(downstream_groups)
 
+    def relocate(self, node_id: int) -> None:
+        """Re-host the source after its node crashed.
+
+        The emit schedule is replayable (a Kafka-style durable input), so
+        nothing is lost: the instance resumes from where it was, catching
+        up on any backlog accumulated while it was down.  In-flight window
+        slots of the old sender die with the old node.
+        """
+        self.node_id = node_id
+        self.sender = WindowedSender(
+            self.env,
+            self.sender.fabric,
+            node_id,
+            window=self.sender._window.capacity,
+        )
+
     def start(self, schedule: typing.Iterator) -> None:
         """Begin emitting; ``schedule`` yields (emit_time, TupleBatch)."""
         self.env.process(self._run(schedule))

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import typing
 
+from repro.cluster.cores import CoreAllocationError
 from repro.cluster.network import TransferPurpose
 from repro.cluster.node import Cluster
 from repro.executors.balancer import ShardBalancer
@@ -26,7 +27,7 @@ from repro.executors.gate import OperatorGate
 from repro.executors.stats import ExecutorMetrics, ReassignmentRecord, ReassignmentStats
 from repro.executors.task import STOP, Task
 from repro.logic.base import OperatorLogic, StateAccess
-from repro.sim import Environment, Event, Store
+from repro.sim import Environment, Event, Resource, Store
 from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
 from repro.topology.batch import TupleBatch
 from repro.topology.keys import shard_of_key
@@ -56,6 +57,20 @@ class InFlightCounter:
         if self._count == 0:
             raise RuntimeError("in-flight counter underflow")
         self._count -= 1
+        if self._count == 0:
+            waiters, self._zero_waiters = self._zero_waiters, []
+            for event in waiters:
+                event.succeed()
+
+    def forget(self, count: int = 1) -> None:
+        """Drop tuples that died with crashed hardware from the ledger.
+
+        Without this the drain step of repartitioning/recovery would wait
+        forever for tuples that no longer exist.  Clamped at zero.
+        """
+        if count <= 0:
+            return
+        self._count = max(0, self._count - count)
         if self._count == 0:
             waiters, self._zero_waiters = self._zero_waiters, []
             for event in waiters:
@@ -106,7 +121,10 @@ class RCExecutor:
         )
         self._downstream_groups: typing.List[typing.Any] = []
         self._sink_recorder: typing.Optional[typing.Callable] = None
-        env.process(self._emitter_loop())
+        self.alive = True
+        #: Gray-failure hook: relative processing speed (0.25 = 4x slower).
+        self.stall_factor = 1.0
+        self._emitter_proc = env.process(self._emitter_loop())
 
     def connect(
         self,
@@ -122,7 +140,7 @@ class RCExecutor:
 
     def process_batch(self, task: Task, batch: TupleBatch) -> typing.Generator:
         cost = self.logic.cpu_seconds(batch) if self.logic else 0.0
-        cost = cost / self.cluster.speed(self.node_id)
+        cost = cost / (self.cluster.speed(self.node_id) * self.stall_factor)
         if cost > 0:
             yield self.env.timeout(cost)
         shard_id = shard_of_key(batch.key, self.manager.total_shards)
@@ -135,6 +153,11 @@ class RCExecutor:
         self.metrics.on_processed(now, batch.count, cost)
         reference = batch.admitted_at if batch.admitted_at is not None else batch.created_at
         self.metrics.queue_latency.record(max(0.0, now - reference))
+        # Commit point: state applied and accounted — settle the operator
+        # ledger before emissions yield, so a crash landing mid-emission
+        # neither re-applies the batch nor strands the in-flight counter.
+        self.manager.in_flight.decrement()
+        task.current_item = None
         if self.is_sink:
             if self._sink_recorder is not None:
                 self._sink_recorder(batch, now)
@@ -151,13 +174,32 @@ class RCExecutor:
                 )
                 self.metrics.on_emit(now, out.total_bytes)
                 yield self._emitter_queue.put(out)
-        self.manager.in_flight.decrement()
 
     def _emitter_loop(self) -> typing.Generator:
         while True:
             batch = yield self._emitter_queue.get()
             for group in self._downstream_groups:
                 yield from group.submit(batch, self.node_id, self._emitter_sender)
+
+    def crash(self, reaper: typing.Any) -> None:
+        """Fail-stop this executor: its core (or whole node) died.
+
+        Queued and in-flight items are dead-lettered — the reaper counts
+        the losses and forgets them from the operator's in-flight ledger.
+        The manager's recovery protocol re-homes the shards afterwards.
+        """
+        self.alive = False
+        for item in self.task.kill():
+            reaper.account(item)
+        reaper.watch(self.task.queue)
+        waiting = self._emitter_proc.kill()
+        if waiting is not None:
+            self._emitter_queue.cancel(waiting)
+        # Emitter-queue batches were already committed (counted processed,
+        # settled in the in-flight ledger) — only their emission is lost.
+        for item in self._emitter_queue.drain():
+            reaper.account(item, committed=True)
+        reaper.watch(self._emitter_queue, committed=True)
 
     def __repr__(self) -> str:
         return f"RCExecutor({self.name}, node={self.node_id})"
@@ -222,6 +264,9 @@ class RCOperatorManager:
         #: Node placement cursor for new executors (round robin).
         self._placement_cursor = 0
         self.repartition_count = 0
+        #: Serializes repartitioning rounds against crash recovery.
+        self._protocol_lock = Resource(env)
+        self._recovering = False
 
     # -- wiring -----------------------------------------------------------
 
@@ -328,6 +373,8 @@ class RCOperatorManager:
     def _manage_loop(self) -> typing.Generator:
         while True:
             yield self.env.timeout(self.manage_interval)
+            if self._recovering:
+                continue
             shard_loads = self._snapshot_loads()
             removed: typing.List[RCExecutor] = []
             # 1. Operator scaling: create/delete executors per the policy.
@@ -433,6 +480,17 @@ class RCOperatorManager:
         moves: typing.List[typing.Tuple[int, RCExecutor, RCExecutor]],
         removed: typing.List[RCExecutor],
     ) -> typing.Generator:
+        yield self._protocol_lock.request()
+        try:
+            yield from self._repartition_locked(moves, removed)
+        finally:
+            self._protocol_lock.release()
+
+    def _repartition_locked(
+        self,
+        moves: typing.List[typing.Tuple[int, RCExecutor, RCExecutor]],
+        removed: typing.List[RCExecutor],
+    ) -> typing.Generator:
         """Operator-level key repartitioning with global synchronization."""
         started = self.env.now
         self.repartition_count += 1
@@ -445,6 +503,10 @@ class RCOperatorManager:
         # (c) Migrate state between node-level stores.
         migrations: typing.List[typing.Tuple[int, bool, float, int]] = []
         for shard_id, src, dst in moves:
+            if not src.alive or not dst.alive:
+                # A crash intervened while this round was planned/running;
+                # crash recovery re-homes the shard, don't touch it here.
+                continue
             inter_node = src.node_id != dst.node_id
             migration_started = self.env.now
             migrated_bytes = 0
@@ -459,6 +521,8 @@ class RCOperatorManager:
                 )
                 src_store = self.store_for_node(src.node_id)
                 dst_store = self.store_for_node(dst.node_id)
+                if shard_id not in src_store:
+                    continue  # state died with a crashed node mid-round
                 migrated_bytes = src_store.get(shard_id).nominal_bytes
                 yield from migrate_shard(
                     self.env, self.cluster.network, src_store, dst_store,
@@ -475,8 +539,12 @@ class RCOperatorManager:
         # Retire removed executors (their queues are drained by now).
         for executor in removed:
             executor.input_queue.put_nowait(STOP)
-            self.executors.remove(executor)
-            self.cluster.cores.release(executor.name, executor.node_id, 1)
+            if executor in self.executors:
+                self.executors.remove(executor)
+            try:
+                self.cluster.cores.release(executor.name, executor.node_id, 1)
+            except CoreAllocationError:
+                pass  # its node crashed; the holdings were already withdrawn
         sync_seconds = (drain_done - started) + (update_done - drain_done) - sum(
             duration for _, _, duration, _ in migrations
         )
@@ -492,3 +560,115 @@ class RCOperatorManager:
                     migrated_bytes=migrated_bytes,
                 )
             )
+
+    # -- crash recovery (the slow, global path — see repro.faults) ----------
+
+    def recover_from_crash(
+        self,
+        dead: typing.Sequence[RCExecutor],
+        stats: typing.Any,
+        rebuild_rate: float,
+        state_lost: bool = True,
+    ) -> typing.Generator:
+        """Recover from crashed executors via the operator-level protocol.
+
+        Simulation process body.  This is the RC paradigm's cost: even a
+        single dead core forces the same global synchronization as a
+        repartitioning — pause every upstream, drain the whole operator,
+        move/rebuild state, push new routing tables everywhere — while
+        the executor-centric design recovers inside one executor.  The
+        caller must already have :meth:`RCExecutor.crash`-ed the victims.
+        """
+        dead = [e for e in dead if not e.alive]
+        if not dead:
+            return
+        started = self.env.now
+        yield self._protocol_lock.request()
+        self._recovering = True
+        try:
+            failed_nodes = set()
+            for executor in dead:
+                if executor in self.executors:
+                    self.executors.remove(executor)
+                if state_lost:
+                    failed_nodes.add(executor.node_id)
+                try:
+                    self.cluster.cores.release(executor.name, executor.node_id, 1)
+                except CoreAllocationError:
+                    pass  # node crash: holdings were already withdrawn
+            if state_lost:
+                for node_id in sorted(failed_nodes):
+                    self._stores.pop(node_id, None)
+            # (a) Pause all upstream executors.
+            self.gate.close()
+            yield from self._control_round()
+            # (b) Drain: losses surface via the dead-letter reapers, which
+            # forget them from the in-flight ledger.
+            yield self.in_flight.wait_zero()
+            # (c) Re-home every orphaned shard onto the survivors.
+            dead_ids = {id(e) for e in dead}
+            orphans = sorted(
+                s for s, owner in self._assignment.items() if id(owner) in dead_ids
+            )
+            if not self.executors:
+                node = self._pick_node_for_new_executor()
+                if node is None:
+                    # No capacity anywhere: the operator is down for good.
+                    # The gate reopens so upstreams keep flowing (and the
+                    # reapers keep exact loss counts) instead of deadlocking.
+                    stats.record_event(
+                        self.env.now, "rc_recovery_stalled", self.spec.name
+                    )
+                    return
+                self._create_executor(node)
+            shard_loads = {i: self._shard_load[i] for i in range(self.total_shards)}
+            survivor_loads = {
+                e: sum(
+                    shard_loads[s]
+                    for s, owner in self._assignment.items()
+                    if owner is e
+                )
+                for e in self.executors
+            }
+            placement = self._balancer.spread_plan(
+                shard_loads, orphans, self.executors, initial_loads=survivor_loads
+            )
+            for shard_id in sorted(placement):
+                dst = placement[shard_id]
+                dst_store = self.store_for_node(dst.node_id)
+                if shard_id not in dst_store:
+                    src_store = None
+                    for node_id in sorted(self._stores):
+                        if shard_id in self._stores[node_id]:
+                            src_store = self._stores[node_id]
+                            break
+                    if src_store is None:
+                        # Only replica died: serial rebuild at the manager —
+                        # part of why RC recovery is slow.
+                        shard = ShardState(
+                            shard_id, nominal_bytes=self.spec.shard_state_bytes
+                        )
+                        if rebuild_rate > 0 and shard.nominal_bytes:
+                            yield self.env.timeout(shard.nominal_bytes / rebuild_rate)
+                        dst_store.add(shard)
+                        stats.shards_rebuilt.add(1)
+                        stats.state_bytes_rebuilt.add(shard.nominal_bytes)
+                    elif src_store is not dst_store:
+                        nbytes = src_store.get(shard_id).nominal_bytes
+                        yield from migrate_shard(
+                            self.env,
+                            self.cluster.network,
+                            src_store,
+                            dst_store,
+                            shard_id,
+                            self.migration_clock,
+                        )
+                        stats.bytes_remigrated.add(nbytes)
+                self._assignment[shard_id] = dst
+            # (d) Push updated routing tables to every upstream, resume.
+            yield from self._control_round()
+        finally:
+            self.gate.open()
+            self._recovering = False
+            self._protocol_lock.release()
+        stats.add_downtime(self.env.now - started)

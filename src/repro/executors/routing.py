@@ -64,6 +64,21 @@ class RoutingTable:
         entry.task = task
         self._shards_by_task[task].add(shard_id)
 
+    def orphan_task(self, task: "Task") -> typing.List[int]:
+        """Detach a dead task: its shards pause with no owner.
+
+        Unlike :meth:`unregister_task` this never raises — crash recovery
+        calls it for tasks that still own shards.  Arrivals for the
+        orphaned shards collect in the pause buffers until recovery
+        re-homes them.  Returns the orphaned shard ids, sorted.
+        """
+        shards = sorted(self._shards_by_task.pop(task, set()))
+        for shard_id in shards:
+            entry = self._entries[shard_id]
+            entry.task = None
+            entry.paused = True
+        return shards
+
     def shards_of(self, task: "Task") -> typing.Set[int]:
         return set(self._shards_by_task.get(task, set()))
 

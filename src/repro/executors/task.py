@@ -49,6 +49,10 @@ class Task:
         self.queue = Store(env, capacity=queue_capacity)
         self.stopped = False
         self.busy_seconds = 0.0
+        # Batch currently being processed but not yet committed to state.
+        # The executor clears it at the commit point, so a crash knows
+        # whether the in-progress batch was applied or must count as lost.
+        self.current_item: typing.Optional[typing.Any] = None
         self.process = env.process(self._run())
 
     def _run(self) -> typing.Generator:
@@ -63,8 +67,28 @@ class Task:
                 item.event.succeed()
                 continue
             started = self.env.now
+            self.current_item = item
             yield from self.owner.process_batch(self, item)
+            self.current_item = None
             self.busy_seconds += self.env.now - started
+
+    def kill(self) -> typing.List[typing.Any]:
+        """Abruptly terminate the task (hardware failure semantics).
+
+        Returns every unprocessed item: the uncommitted in-progress batch
+        (if any) plus everything still queued.  The task's pending get is
+        cancelled so late deliveries are not swallowed by a dead coroutine.
+        """
+        self.stopped = True
+        items: typing.List[typing.Any] = []
+        if self.current_item is not None:
+            items.append(self.current_item)
+            self.current_item = None
+        waiting = self.process.kill()
+        if waiting is not None:
+            self.queue.cancel(waiting)
+        items.extend(self.queue.drain())
+        return items
 
     def __repr__(self) -> str:
         return f"Task(id={self.task_id}, node={self.node_id})"

@@ -1,0 +1,25 @@
+"""Deterministic fault injection and recovery.
+
+The paper evaluates Elasticutor under *planned* change (workload shifts);
+this package adds the other half of elasticity — failures.  A
+:class:`FaultSpec` is a pure virtual-time schedule of fault events (node
+crashes, single-core failures, link degradation, partitions, executor
+stalls); the :class:`FaultInjector` replays it inside the simulation, and
+the :class:`FaultCoordinator` drives each paradigm's recovery path.
+
+Everything is seed-driven and wall-clock free, so a run with the same
+seed and the same spec is bit-identical.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.recovery import DeadLetterReaper, FaultCoordinator
+from repro.faults.spec import FaultEvent, FaultKind, FaultSpec
+
+__all__ = [
+    "DeadLetterReaper",
+    "FaultCoordinator",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSpec",
+]

@@ -1,0 +1,554 @@
+"""Dead-letter accounting and the fault-recovery coordinator.
+
+Two pieces live here:
+
+- :class:`DeadLetterReaper` — the accounting sink for work that dies with
+  crashed hardware.  Every kill path (task queues, input queues, pause
+  buffers, in-flight network deliveries landing in a dead queue) funnels
+  through one reaper so conservation stays exact: every admitted tuple is
+  either processed or counted lost, never silently dropped.
+- :class:`FaultCoordinator` — translates :class:`~repro.faults.spec.FaultEvent`
+  occurrences into cluster/executor actions and drives the matching
+  recovery protocol.  The executor-centric paradigms recover locally
+  (re-home orphaned shards onto surviving tasks, or restart the executor
+  process elsewhere); the RC baseline pays its operator-level global
+  synchronization even for a single dead core; the static paradigm
+  additionally pays a full process-restart penalty because it has no
+  elasticity machinery to absorb the loss.
+
+Everything is pure virtual time: failures destroy work *immediately*
+(the hardware is gone), while recovery starts only after the configured
+detection delay — that window is where losses accumulate.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.cluster.cores import CoreAllocationError
+from repro.faults.spec import FaultEvent, FaultKind
+from repro.topology.batch import LabelTuple, TupleBatch
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.metrics.recovery import RecoveryStats
+    from repro.sim import Environment, Store
+
+#: Core-ledger owner of the reserved source cores (mirrors
+#: ``repro.runtime.system.SOURCE_OWNER``; duplicated to avoid an import
+#: cycle — the runtime builds the coordinator, not the reverse).
+SOURCE_OWNER = "__sources__"
+
+
+class DeadLetterReaper:
+    """Accounts for items that died with crashed hardware.
+
+    ``on_lost`` (if given) is invoked once per *uncommitted* lost
+    :class:`TupleBatch` — the hook the operator-level in-flight ledgers
+    use to forget tuples that will never drain, so global-sync protocols
+    don't wait forever on the dead.  Batches accounted with
+    ``committed=True`` were already settled in those ledgers (e.g. a dead
+    emitter queue: processing completed, only the emission is lost) and
+    must not be forgotten twice.
+
+    :class:`LabelTuple` markers have their drain event succeeded so an
+    in-flight reassignment blocked on a dead queue unblocks instead of
+    deadlocking.  Stop sentinels and anything else carry no payload.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        stats: "RecoveryStats",
+        on_lost: typing.Optional[typing.Callable[[TupleBatch], None]] = None,
+    ) -> None:
+        self.env = env
+        self.stats = stats
+        self.on_lost = on_lost
+
+    def account(self, item: typing.Any, committed: bool = False) -> None:
+        if isinstance(item, TupleBatch):
+            self.stats.tuples_lost.add(item.count)
+            self.stats.batches_lost.add(1)
+            if not committed and self.on_lost is not None:
+                self.on_lost(item)
+        elif isinstance(item, LabelTuple):
+            if not item.event.triggered:
+                item.event.succeed()
+
+    def watch(self, store: "Store", committed: bool = False) -> None:
+        """Perpetually dead-letter everything delivered into ``store``.
+
+        Used on queues whose consumer died: network deliveries already in
+        flight still land there, and each one must be counted lost.
+        """
+        self.env.process(self._watch_loop(store, committed))
+
+    def _watch_loop(self, store: "Store", committed: bool) -> typing.Generator:
+        while True:
+            item = yield store.get()
+            self.account(item, committed=committed)
+
+
+class FaultCoordinator:
+    """Applies fault events to a :class:`~repro.runtime.system.StreamSystem`.
+
+    Destruction is immediate and lock-free (crashed hardware does not
+    wait for protocol locks); recovery starts after ``detection_delay``
+    simulated seconds and runs through the paradigm's own machinery.
+    """
+
+    #: Core-acquisition retry schedule for executor restarts.
+    RESTART_ATTEMPTS = 40
+    RESTART_RETRY_SECONDS = 0.25
+
+    def __init__(self, system: typing.Any, stats: "RecoveryStats") -> None:
+        self.system = system
+        self.env = system.env
+        self.stats = stats
+        config = system.config
+        self.detection_delay = float(getattr(config, "detection_delay", 0.25))
+        self.rebuild_rate = float(
+            getattr(config, "state_rebuild_bytes_per_s", 100e6)
+        )
+        self.static_restart_seconds = float(
+            getattr(config, "static_restart_seconds", 5.0)
+        )
+        self._reapers: typing.Dict[int, DeadLetterReaper] = {}
+
+    # -- dispatch ----------------------------------------------------------
+
+    def apply(self, event: FaultEvent) -> None:
+        """Start the handler process for one fault event (non-blocking)."""
+        if event.kind is FaultKind.NODE_CRASH:
+            self.env.process(self._node_crash(event))
+        elif event.kind is FaultKind.CORE_FAILURE:
+            self.env.process(self._core_failure(event))
+        elif event.kind is FaultKind.LINK_DEGRADE:
+            self.env.process(self._link_degrade(event))
+        elif event.kind is FaultKind.PARTITION:
+            self.env.process(self._partition(event))
+        elif event.kind is FaultKind.EXECUTOR_STALL:
+            self.env.process(self._executor_stall(event))
+        else:  # pragma: no cover - exhaustive over FaultKind
+            raise ValueError(f"unhandled fault kind {event.kind!r}")
+
+    # -- reapers -----------------------------------------------------------
+
+    def _reaper_for(self, executor: typing.Any) -> DeadLetterReaper:
+        """One reaper per executor, wired to its operator's in-flight ledger."""
+        reaper = self._reapers.get(id(executor))
+        if reaper is not None:
+            return reaper
+        counter = None
+        manager = getattr(executor, "manager", None)
+        if manager is not None:  # RC executor
+            counter = manager.in_flight
+        else:  # elastic/static; hybrid wires operator_in_flight
+            counter = getattr(executor, "operator_in_flight", None)
+        on_lost = None
+        if counter is not None:
+            on_lost = lambda item, c=counter: c.forget(1)  # noqa: E731
+        reaper = DeadLetterReaper(self.env, self.stats, on_lost=on_lost)
+        self._reapers[id(executor)] = reaper
+        return reaper
+
+    # -- node crash --------------------------------------------------------
+
+    def _node_crash(self, event: FaultEvent) -> typing.Generator:
+        node = event.node
+        system = self.system
+        cluster = system.cluster
+        if not cluster.is_alive(node):
+            return
+        cluster.fail_node(node)
+        self.stats.record_event(self.env.now, "node_crash", f"node={node}")
+
+        # Destruction is immediate: processes on the node die now, and
+        # their queued/in-flight work dead-letters with exact counters.
+        rehomes: typing.List[typing.Tuple[typing.Any, typing.List[int]]] = []
+        restarts: typing.List[typing.Any] = []
+        rc_dead: typing.Dict[str, typing.List[typing.Any]] = {}
+        for op_name in sorted(system.executors_by_operator):
+            executors = system.executors_by_operator[op_name]
+            manager = system.rc_managers.get(op_name)
+            if manager is not None:
+                for executor in list(executors):
+                    if executor.alive and executor.node_id == node:
+                        executor.crash(self._reaper_for(executor))
+                        rc_dead.setdefault(op_name, []).append(executor)
+                continue
+            for executor in executors:
+                if not getattr(executor, "alive", True):
+                    continue
+                reaper = self._reaper_for(executor)
+                prev_cores = max(1, len(executor.tasks))
+                if executor.local_node == node:
+                    executor.crash_main(reaper)
+                    restarts.append((executor, prev_cores))
+                    continue
+                victims = [
+                    t for t in executor.tasks.values() if t.node_id == node
+                ]
+                if not victims:
+                    continue
+                orphans = executor.crash_tasks(victims, reaper)
+                if executor.tasks:
+                    rehomes.append((executor, orphans))
+                else:
+                    # Every worker lived on the dead node: nothing left to
+                    # re-home onto, so the executor restarts from scratch.
+                    executor.crash_main(reaper)
+                    restarts.append((executor, prev_cores))
+
+        yield self.env.timeout(self.detection_delay)
+
+        # Sources are backed by a replayable input; they re-host and
+        # catch up rather than lose tuples.
+        self._relocate_sources(node)
+
+        procs = []
+        for executor, orphans in rehomes:
+            procs.append(
+                self.env.process(
+                    executor.rehome_orphans(
+                        orphans, node, self.stats, self.rebuild_rate,
+                        lose_state=True,
+                    )
+                )
+            )
+        for executor, prev_cores in restarts:
+            procs.append(
+                self.env.process(
+                    self._restart_executor(executor, target_cores=prev_cores)
+                )
+            )
+        for op_name in sorted(rc_dead):
+            manager = system.rc_managers[op_name]
+            procs.append(
+                self.env.process(
+                    manager.recover_from_crash(
+                        rc_dead[op_name], self.stats, self.rebuild_rate,
+                        state_lost=True,
+                    )
+                )
+            )
+        for proc in procs:
+            if not proc.triggered:
+                yield proc
+
+        # Re-run global allocation over the surviving cores.
+        if system.scheduler is not None:
+            yield from system.scheduler.reschedule()
+        self.stats.record_event(self.env.now, "node_recovered", f"node={node}")
+
+    # -- single-core failure -----------------------------------------------
+
+    def _core_failure(self, event: FaultEvent) -> typing.Generator:
+        node = event.node
+        system = self.system
+        cluster = system.cluster
+        if not cluster.is_alive(node):
+            return
+        owner = cluster.cores.fail_core(node)
+        self.stats.record_event(
+            self.env.now, "core_failure", f"node={node} owner={owner}"
+        )
+        if owner is None:
+            return  # a free core died; no running work was touched
+        if owner == SOURCE_OWNER:
+            # A reserved source core died: re-host one source instance.
+            yield self.env.timeout(self.detection_delay)
+            victims = [s for s in system.sources if s.node_id == node]
+            if victims:
+                self._relocate_one_source(
+                    min(victims, key=lambda s: s.index), node
+                )
+            return
+
+        executor = self._find_executor(owner)
+        if executor is None:
+            return  # owner is not a tracked executor (e.g. test scaffolding)
+
+        manager = getattr(executor, "manager", None)
+        if manager is not None:  # RC: single-core executors die whole
+            executor.crash(self._reaper_for(executor))
+            yield self.env.timeout(self.detection_delay)
+            yield self.env.process(
+                manager.recover_from_crash(
+                    [executor], self.stats, self.rebuild_rate,
+                    state_lost=False,
+                )
+            )
+            return
+
+        # Executor-centric: kill the task pinned to the dead core.  The
+        # hosting process survives, so state migrates instead of rebuilding.
+        reaper = self._reaper_for(executor)
+        victims = [t for t in executor.tasks.values() if t.node_id == node]
+        if not victims:
+            return
+        victim = min(
+            victims,
+            key=lambda t: (len(executor.routing.shards_of(t)), t.task_id),
+        )
+        orphans = executor.crash_tasks([victim], reaper)
+        if executor.tasks:
+            yield self.env.timeout(self.detection_delay)
+            yield self.env.process(
+                executor.rehome_orphans(
+                    orphans, node, self.stats, self.rebuild_rate,
+                    lose_state=False,
+                )
+            )
+        else:
+            # Its only worker died (static executors always land here):
+            # the process cannot limp on, so it restarts on a fresh core.
+            executor.crash_main(reaper)
+            yield self.env.timeout(self.detection_delay)
+            yield self.env.process(self._restart_executor(executor))
+
+    # -- transient faults --------------------------------------------------
+
+    def _link_degrade(self, event: FaultEvent) -> typing.Generator:
+        network = self.system.cluster.network
+        previous = network.bandwidth_factor(event.node)
+        network.set_bandwidth_factor(event.node, event.factor)
+        self.stats.record_event(
+            self.env.now, "link_degrade",
+            f"node={event.node} factor={event.factor}",
+        )
+        yield self.env.timeout(event.duration)
+        network.set_bandwidth_factor(event.node, previous)
+        self.stats.record_event(
+            self.env.now, "link_restored", f"node={event.node}"
+        )
+
+    def _partition(self, event: FaultEvent) -> typing.Generator:
+        network = self.system.cluster.network
+        network.partition_until(event.node, self.env.now + event.duration)
+        self.stats.record_event(
+            self.env.now, "partition",
+            f"node={event.node} duration={event.duration}",
+        )
+        yield self.env.timeout(event.duration)
+        self.stats.record_event(
+            self.env.now, "partition_healed", f"node={event.node}"
+        )
+
+    def _executor_stall(self, event: FaultEvent) -> typing.Generator:
+        executor = self._resolve_stall_target(event.target)
+        if executor is None:
+            self.stats.record_event(
+                self.env.now, "stall_target_missing", f"target={event.target}"
+            )
+            return
+        previous = executor.stall_factor
+        executor.stall_factor = event.factor
+        self.stats.record_event(
+            self.env.now, "executor_stall",
+            f"target={event.target} factor={event.factor}",
+        )
+        yield self.env.timeout(event.duration)
+        executor.stall_factor = previous
+        self.stats.record_event(
+            self.env.now, "stall_cleared", f"target={event.target}"
+        )
+
+    def _resolve_stall_target(self, target: str) -> typing.Optional[typing.Any]:
+        """``operator:index`` -> executor (gray failure victim)."""
+        op_name, _, index_text = target.partition(":")
+        executors = self.system.executors_by_operator.get(op_name)
+        if not executors:
+            return None
+        try:
+            index = int(index_text) if index_text else 0
+        except ValueError:
+            return None
+        if not 0 <= index < len(executors):
+            return None
+        return executors[index]
+
+    # -- helpers -----------------------------------------------------------
+
+    def _find_executor(self, owner: typing.Any) -> typing.Optional[typing.Any]:
+        for op_name in sorted(self.system.executors_by_operator):
+            for executor in self.system.executors_by_operator[op_name]:
+                if executor.name == owner:
+                    return executor
+        return None
+
+    def _restart_executor(
+        self, executor: typing.Any, target_cores: int = 1
+    ) -> typing.Generator:
+        """Acquire a replacement core and rebuild the executor there.
+
+        ``target_cores`` is the executor's pre-crash core count: after the
+        restart lands, the coordinator grows it back toward that size so
+        the recovered key range is not served by a single core until the
+        next scheduler round.  Static executors pay
+        ``static_restart_seconds`` on top of the process-spawn delay: with
+        no elasticity machinery, a restart is a full redeploy (paper §2's
+        motivation for executor-level recovery).
+        """
+        from repro.executors.static import StaticExecutor
+
+        owner = executor.name
+        node = None
+        for attempt in range(self.RESTART_ATTEMPTS):
+            candidate = self._pick_restart_node()
+            if candidate is not None:
+                try:
+                    self.system.cluster.cores.allocate(owner, candidate, 1)
+                    node = candidate
+                    break
+                except CoreAllocationError:
+                    pass
+            # No spare capacity: rapid reallocation at core granularity is
+            # exactly what the executor-centric design buys — seize a core
+            # from the best-endowed live executor (milliseconds of
+            # reassignment protocol) instead of waiting for the
+            # scheduler's damped shrink cycle to free one.
+            seized = yield from self._seize_core(executor)
+            if seized is not None:
+                node = seized
+                break
+            yield self.env.timeout(self.RESTART_RETRY_SECONDS)
+        if node is None:
+            # No capacity anywhere: the executor stays down, and its
+            # losses keep counting — conservation remains exact.
+            self.stats.record_event(
+                self.env.now, "restart_stalled", f"executor={owner}"
+            )
+            return
+        # Best-effort: bring back the pre-crash core count in the same
+        # restart so the recovered key range is not a one-core hotspot.
+        extras = []
+        for _ in range(target_cores - 1):
+            candidate = self._pick_restart_node()
+            if candidate is not None:
+                try:
+                    self.system.cluster.cores.allocate(owner, candidate, 1)
+                    extras.append(candidate)
+                    continue
+                except CoreAllocationError:
+                    pass
+            seized = yield from self._seize_core(executor)
+            if seized is None:
+                break
+            extras.append(seized)
+        spawn_delay = executor.config.remote_process_spawn_seconds
+        if isinstance(executor, StaticExecutor):
+            spawn_delay += self.static_restart_seconds
+        yield self.env.process(
+            executor.restart_on_node(
+                node, self.stats, self.rebuild_rate, spawn_delay=spawn_delay,
+                extra_nodes=extras,
+            )
+        )
+        self.stats.record_event(
+            self.env.now, "executor_restarted",
+            f"executor={owner} node={node} cores={1 + len(extras)}",
+        )
+
+    def _seize_core(self, needy: typing.Any) -> typing.Generator:
+        """Shrink the live executor with the most tasks by one core and
+        hand that core to ``needy``; returns the node, or None.
+
+        Uses the donor's own consistent shrink protocol (shards evacuate
+        with their state before the task stops), so this is loss-free.
+        The ledger transfer is atomic — no yield between the donor's
+        release and the needy's allocate — so a concurrent scheduler
+        round cannot grab the freed core first.  Static executors cannot
+        donate — they are bound to a single core — which is why the
+        static paradigm stays down when the cluster has no spare capacity.
+        """
+        from repro.executors.static import StaticExecutor
+
+        donors = []
+        for op_name in sorted(self.system.executors_by_operator):
+            if op_name in self.system.rc_managers:
+                continue
+            for candidate in self.system.executors_by_operator[op_name]:
+                if candidate is needy or isinstance(candidate, StaticExecutor):
+                    continue
+                if not getattr(candidate, "alive", True):
+                    continue
+                if len(candidate.tasks) > 1:
+                    donors.append(candidate)
+        if not donors:
+            return None
+        donor = max(donors, key=lambda e: (len(e.tasks), e.name))
+        counts: typing.Dict[int, int] = {}
+        for task in donor.tasks.values():
+            counts[task.node_id] = counts.get(task.node_id, 0) + 1
+        nodes = [n for n in counts if self.system.cluster.is_alive(n)]
+        if not nodes:
+            return None
+        node = max(nodes, key=lambda n: (counts[n], -n))
+        try:
+            yield from donor.remove_core(node)
+        except (ValueError, NotImplementedError):
+            return None  # the donor shrank/crashed concurrently
+        try:
+            self.system.cluster.cores.release(donor.name, node, 1)
+            self.system.cluster.cores.allocate(needy.name, node, 1)
+        except CoreAllocationError:
+            return None
+        self.stats.record_event(
+            self.env.now, "core_seized", f"donor={donor.name} node={node}"
+        )
+        return node
+
+    def _pick_restart_node(self) -> typing.Optional[int]:
+        """Alive node with the most free cores (ties: lowest id)."""
+        cluster = self.system.cluster
+        free = cluster.cores.free_by_node()
+        candidates = [
+            n for n in sorted(free)
+            if free[n] > 0 and cluster.is_alive(n)
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda n: (free[n], -n))
+
+    def _relocate_sources(self, dead_node: int) -> None:
+        for source in sorted(
+            self.system.sources, key=lambda s: s.index
+        ):
+            if source.node_id == dead_node:
+                self._relocate_one_source(source, dead_node)
+
+    def _relocate_one_source(self, source: typing.Any, dead_node: int) -> None:
+        """Re-host one source instance; its reserved core moves with it."""
+        system = self.system
+        # The old reservation died with the core either way.
+        self._adjust_reserved(dead_node, -1)
+        target = self._pick_restart_node()
+        if target is None:
+            alive = sorted(system.cluster.alive_nodes())
+            if not alive:
+                self.stats.record_event(
+                    self.env.now, "source_stranded", f"source={source.name}"
+                )
+                return
+            target = alive[0]  # no free core: co-locate, unreserved
+        else:
+            try:
+                system.cluster.cores.allocate(SOURCE_OWNER, target, 1)
+                self._adjust_reserved(target, +1)
+            except CoreAllocationError:
+                pass  # lost the race for the core: co-locate, unreserved
+        source.relocate(target)
+        self.stats.record_event(
+            self.env.now, "source_relocated",
+            f"source={source.name} node={target}",
+        )
+
+    def _adjust_reserved(self, node: int, delta: int) -> None:
+        """Keep both reserved-core maps (system + scheduler copy) in sync."""
+        maps = [self.system._reserved_by_node]
+        scheduler = self.system.scheduler
+        if scheduler is not None and scheduler.reserved_by_node is not maps[0]:
+            maps.append(scheduler.reserved_by_node)
+        for reserved in maps:
+            reserved[node] = max(0, reserved.get(node, 0) + delta)

@@ -10,6 +10,7 @@ corresponding virtual-time-aware meters.
 from repro.metrics.counters import ByteCounter, Counter
 from repro.metrics.latency import LatencyReservoir
 from repro.metrics.rates import EWMA, WindowedRate
+from repro.metrics.recovery import RecoveryEvent, RecoveryStats
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "Counter",
     "EWMA",
     "LatencyReservoir",
+    "RecoveryEvent",
+    "RecoveryStats",
     "TimeSeries",
     "WindowedRate",
 ]

@@ -59,6 +59,17 @@ class SystemConfig:
     #: Latency-breakdown tracing: attach a trace to every Nth source batch
     #: (0 = off).  Completed traces land in ``SystemResult.traces``.
     trace_every: int = 0
+    #: Deterministic fault schedule: a :class:`repro.faults.FaultSpec`,
+    #: DSL/JSON text, or a path to a spec file (None = no faults).
+    fault_spec: typing.Optional[typing.Any] = None
+    #: Seconds between a failure and the start of recovery (the loss
+    #: window: work destroyed in it dead-letters with exact counters).
+    detection_delay: float = 0.25
+    #: Rebuild rate for state whose only replica died (replay/recompute).
+    state_rebuild_bytes_per_s: float = 100e6
+    #: Extra restart penalty for the static paradigm: with no elasticity
+    #: machinery a crash means a full redeploy of the process.
+    static_restart_seconds: float = 5.0
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1 or self.cores_per_node < 1:
@@ -69,6 +80,23 @@ class SystemConfig:
             raise ValueError("scheduler intervals must be positive")
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
+        if self.detection_delay < 0:
+            raise ValueError("detection_delay must be >= 0")
+        if self.state_rebuild_bytes_per_s <= 0:
+            raise ValueError("state_rebuild_bytes_per_s must be positive")
+        if self.static_restart_seconds < 0:
+            raise ValueError("static_restart_seconds must be >= 0")
+        if self.fault_spec is not None:
+            from repro.faults.spec import FaultSpec, FaultSpecError
+
+            if not hasattr(self.fault_spec, "events"):
+                self.fault_spec = FaultSpec.load(self.fault_spec)
+            for event in self.fault_spec.events:
+                if event.node is not None and not 0 <= event.node < self.num_nodes:
+                    raise FaultSpecError(
+                        f"fault {event.kind.value}@{event.time:g} targets node "
+                        f"{event.node}, but the cluster has nodes 0..{self.num_nodes - 1}"
+                    )
 
     @property
     def total_cores(self) -> int:

@@ -19,7 +19,8 @@ from repro.executors import (
     StaticGroup,
     SubspaceRouter,
 )
-from repro.metrics import LatencyReservoir, TimeSeries
+from repro.faults import FaultCoordinator, FaultInjector
+from repro.metrics import LatencyReservoir, RecoveryStats, TimeSeries
 from repro.runtime.config import Paradigm, SystemConfig
 from repro.scheduler import DynamicScheduler
 from repro.scheduler.model import MMKModel
@@ -59,6 +60,12 @@ class SystemResult:
     traces: typing.List[typing.Dict[str, float]] = dataclasses.field(
         default_factory=list
     )
+    #: Recovery counters (``RecoveryStats.snapshot()``); all-zero when no
+    #: fault spec was configured.
+    recovery: typing.Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Seconds from the first fault until throughput is back to >= 90% of
+    #: its pre-fault mean (0 when no faults were injected).
+    time_to_steady_state: float = 0.0
 
     @property
     def measure_window(self) -> float:
@@ -110,6 +117,18 @@ class SystemResult:
             lines.append(
                 f"scheduling time     : {self.scheduler_mean_wall_seconds * 1e3:.2f} ms/round"
             )
+        if self.recovery.get("faults_injected"):
+            lines.extend(
+                [
+                    f"faults injected     : {self.recovery['faults_injected']:.0f}",
+                    f"tuples lost         : {self.recovery['tuples_lost']:,.0f}",
+                    f"tuples rerouted     : {self.recovery['tuples_rerouted']:,.0f}",
+                    f"state rebuilt       : {self.recovery['state_bytes_rebuilt'] / 1e6:.2f} MB",
+                    f"state re-migrated   : {self.recovery['bytes_remigrated'] / 1e6:.2f} MB",
+                    f"downtime            : {self.recovery['downtime_seconds']:.2f} s over {self.recovery['recoveries']:.0f} recoveries",
+                    f"time to steady state: {self.time_to_steady_state:.2f} s",
+                ]
+            )
         return "\n".join(lines)
 
 
@@ -147,7 +166,16 @@ class StreamSystem:
         self.hybrid_controllers: typing.Dict[str, HybridController] = {}
         self.scheduler: typing.Optional[DynamicScheduler] = None
         self._reserved_by_node: typing.Dict[int, int] = {}
+        self.recovery_stats = RecoveryStats()
+        self.fault_coordinator: typing.Optional[FaultCoordinator] = None
+        self.fault_injector: typing.Optional[FaultInjector] = None
         self._build()
+        if self.config.fault_spec is not None:
+            self.fault_coordinator = FaultCoordinator(self, self.recovery_stats)
+            self.fault_injector = FaultInjector(
+                self.env, self.config.fault_spec, self.fault_coordinator,
+                self.recovery_stats,
+            )
 
     # -- construction -------------------------------------------------------
 
@@ -485,6 +513,8 @@ class StreamSystem:
                 )
             )
         self.env.process(self._sampler())
+        if self.fault_injector is not None:
+            self.fault_injector.start()
         self.env.run(until=duration)
         return self.result(duration)
 
@@ -521,4 +551,85 @@ class StreamSystem:
             generated_tuples=getattr(self.workload, "generated_tuples", 0),
             processed_tuples=processed,
             traces=list(self.traces),
+            recovery=self.recovery_stats.snapshot(),
+            time_to_steady_state=self._time_to_steady_state(duration),
         )
+
+    def _time_to_steady_state(self, duration: float) -> float:
+        """Seconds from the first fault back to >= 90% pre-fault throughput.
+
+        Steady state needs BOTH measurement streams healthy, each binned
+        into sample intervals and compared to its own pre-fault mean:
+
+        - *sink completions* — a paradigm whose losses dead-letter without
+          backpressure admits at full rate while processing nothing for
+          the dead key range; only the completion stream shows that hole.
+        - *source admission* — a paradigm whose recovery pauses every
+          upstream (the RC global-sync gate) keeps completing queued work
+          during the stall; only the admission stream shows that freeze.
+
+        The pre-fault baseline of each stream is its mean over the bins
+        fully inside ``[warmup, first_fault)``; recovery is declared at
+        the first post-fault bin where both streams meet their 90%
+        thresholds and do so again in the successor bin (if any) — one
+        bin is not steady state.  Never recovered within the run means
+        the full remainder, ``duration - t0``.
+        """
+        spec = self.config.fault_spec
+        if spec is None or not self.recovery_stats.faults_injected.total:
+            return 0.0
+        t0 = spec.first_fault_time
+        if t0 is None or t0 >= duration:
+            return 0.0
+        interval = self.config.sample_interval
+        nbins = max(1, int(duration / interval + 0.5))
+        completions = [0.0] * nbins
+        for time, value in zip(
+            self.sink_completions.times, self.sink_completions.values
+        ):
+            completions[min(nbins - 1, int(time / interval))] += value
+        # The sampler records at k*interval the admission rate over the
+        # preceding interval, i.e. over bin k-1.
+        admission: typing.List[typing.Optional[float]] = [None] * nbins
+        for time, value in zip(
+            self.throughput_series.times, self.throughput_series.values
+        ):
+            index = int(time / interval + 0.5) - 1
+            if 0 <= index < nbins:
+                admission[index] = value * interval
+
+        def threshold_for(series: typing.Sequence[typing.Optional[float]]):
+            pre = [
+                series[i] for i in range(nbins)
+                if series[i] is not None
+                and i * interval >= self._warmup
+                and (i + 1) * interval <= t0
+            ]
+            if not pre:
+                pre = [
+                    series[i] for i in range(nbins)
+                    if series[i] is not None and (i + 1) * interval <= t0
+                ]
+            if not pre:
+                return None
+            return 0.9 * (sum(pre) / len(pre))
+
+        comp_threshold = threshold_for(completions)
+        adm_threshold = threshold_for(admission)
+        if comp_threshold is None:
+            return duration - t0
+
+        def healthy(i: int) -> bool:
+            if completions[i] < comp_threshold:
+                return False
+            if adm_threshold is not None and admission[i] is not None:
+                return admission[i] >= adm_threshold
+            return True
+
+        # The bin straddling the fault is ambiguous; post starts at the
+        # first bin that begins at or after t0.
+        post = [i for i in range(nbins) if i * interval >= t0]
+        for j, i in enumerate(post):
+            if healthy(i) and (j + 1 >= len(post) or healthy(post[j + 1])):
+                return max(0.0, (i + 1) * interval - t0)
+        return duration - t0

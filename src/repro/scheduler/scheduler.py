@@ -123,6 +123,11 @@ class DynamicScheduler:
         self._below_target_rounds.pop(executor.name, None)
         self._last_congested_round.pop(executor.name, None)
 
+    @property
+    def live_executors(self) -> typing.List[ElasticExecutor]:
+        """Executors currently alive — crashed ones rejoin after restart."""
+        return [e for e in self.executors if getattr(e, "alive", True)]
+
     def _loop(self) -> typing.Generator:
         while True:
             yield self.env.timeout(self.interval)
@@ -135,8 +140,9 @@ class DynamicScheduler:
         wall_started = time.perf_counter()
         now = self.env.now
         self._round += 1
+        live = self.live_executors
         demands = []
-        for executor in self.executors:
+        for executor in live:
             arrival = executor.metrics.arrival_rate(now) * self.demand_headroom
             service = executor.metrics.service_rate()
             if executor.is_congested():
@@ -157,15 +163,15 @@ class DynamicScheduler:
         if self.naive:
             # From-scratch placement needs transition slack: a relocating
             # executor briefly holds its old core and its new one.
-            budget = max(len(self.executors), budget - 2)
+            budget = max(len(live), budget - 2)
         allocation = self.allocator.allocate(demands, total_cores=budget)
         targets = self._damp_shrinks(allocation.cores, budget)
         inp = AssignmentInput(
             targets=targets,
-            current={ex.name: ex.cores_by_node() for ex in self.executors},
-            local_node={ex.name: ex.local_node for ex in self.executors},
-            state_bytes={ex.name: float(ex.state_bytes()) for ex in self.executors},
-            data_rates={ex.name: ex.metrics.data_rate(now) for ex in self.executors},
+            current={ex.name: ex.cores_by_node() for ex in live},
+            local_node={ex.name: ex.local_node for ex in live},
+            state_bytes={ex.name: float(ex.state_bytes()) for ex in live},
+            data_rates={ex.name: ex.metrics.data_rate(now) for ex in live},
             node_capacity=self._capacity_less_reserved(),
             phi=self.phi,
         )
@@ -200,7 +206,7 @@ class DynamicScheduler:
         Growth is never delayed.  Damping is skipped when the cluster has
         no slack (someone needs the cores right now).
         """
-        current_totals = {ex.name: ex.num_cores for ex in self.executors}
+        current_totals = {ex.name: ex.num_cores for ex in self.live_executors}
         if sum(raw_targets.values()) >= budget:
             self._below_target_rounds.clear()
             return raw_targets
@@ -231,17 +237,21 @@ class DynamicScheduler:
         return targets
 
     def _capacity_less_reserved(self) -> typing.Dict[int, int]:
-        """Node capacities with reserved (source/system) cores carved out."""
-        capacity = {node.node_id: node.num_cores for node in self.cluster.nodes}
+        """Node capacities with reserved (source/system) cores carved out.
+
+        Read from the core ledger, not the static node specs, so crashed
+        nodes (capacity 0) and lost cores disappear from the plan.
+        """
+        capacity = self.cluster.cores.capacity_by_node()
         for node_id, reserved in self.reserved_by_node.items():
-            capacity[node_id] = max(0, capacity[node_id] - reserved)
+            capacity[node_id] = max(0, capacity.get(node_id, 0) - reserved)
         return capacity
 
     def _diff(self, matrix):
         """Split the target matrix into add/remove operations."""
         added: typing.List[typing.Tuple[ElasticExecutor, int, int]] = []
         removed: typing.List[typing.Tuple[ElasticExecutor, int, int]] = []
-        for executor in self.executors:
+        for executor in self.live_executors:
             current = executor.cores_by_node()
             target = matrix.get(executor.name, {})
             for node in sorted(set(current) | set(target)):
@@ -307,9 +317,17 @@ class DynamicScheduler:
             yield self.env.all_of(procs)
 
     def _remove(self, executor: ElasticExecutor, node: int, count: int):
+        from repro.cluster.cores import CoreAllocationError
+
         for _ in range(count):
-            yield from executor.remove_core(node)
-            self.cluster.cores.release(executor.name, node, 1)
+            try:
+                yield from executor.remove_core(node)
+            except ValueError:
+                return  # a crash took the task (or the node) mid-plan
+            try:
+                self.cluster.cores.release(executor.name, node, 1)
+            except CoreAllocationError:
+                return  # node crashed: its holdings were already withdrawn
 
     def _transition(self, executor: ElasticExecutor, adds, releases):
         """Grow an executor, then release its kept-alive old cores.

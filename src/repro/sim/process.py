@@ -48,6 +48,28 @@ class Process(Event):
         """True while the generator has not finished."""
         return not self.triggered
 
+    def kill(self) -> typing.Optional[Event]:
+        """Terminate the process abruptly (crash semantics).
+
+        The generator is closed — ``finally`` blocks run, so held locks are
+        released — and the process event fires with ``None`` so waiters are
+        not stranded.  Returns the event the process was blocked on, if any,
+        so the caller can cancel store/resource bookkeeping tied to it
+        (see :meth:`Store.cancel`).  Killing a finished process is a no-op.
+        """
+        if self.triggered:
+            return None
+        waiting = self._waiting_on
+        if waiting is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            self._waiting_on = None
+        self._generator.close()
+        self.succeed(None)
+        return waiting
+
     def _resume(self, event: Event) -> None:
         self._waiting_on = None
         while True:

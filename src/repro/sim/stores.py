@@ -75,6 +75,36 @@ class Store:
         self._dispatch()
         return event
 
+    def cancel(self, event: Event) -> bool:
+        """Withdraw a pending ``put``/``get`` event from this store's queues.
+
+        Needed when the process that issued the request is killed: a stale
+        get-waiter would otherwise be handed a later item, silently dropping
+        it into a closed generator.  Returns True when the event was found
+        (events belonging to other stores are ignored).
+        """
+        for index, waiter in enumerate(self._get_waiters):
+            if waiter is event:
+                del self._get_waiters[index]
+                return True
+        for index, (waiter, _item) in enumerate(self._put_waiters):
+            if waiter is event:
+                del self._put_waiters[index]
+                return True
+        return False
+
+    def drain(self) -> typing.List[typing.Any]:
+        """Remove and return all buffered items (crash accounting).
+
+        Pending puts are pulled in afterwards, so producers already blocked
+        on the (previously full) store complete; their items surface to
+        whoever consumes the store next — typically a dead-letter reaper.
+        """
+        items = list(self._items)
+        self._items.clear()
+        self._dispatch()
+        return items
+
     def _dispatch(self) -> None:
         progressed = True
         while progressed:

@@ -115,6 +115,129 @@ def test_order_and_conservation_under_random_churn(workload, churn, shards):
         assert found == total, f"key {key}: state {found} != fed {total}"
 
 
+fault_actions = st.lists(
+    st.floats(min_value=0.1, max_value=1.5),  # inter-crash delays
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(max_examples=20, deadline=None)
+@given(workload=workload_spec, churn=churn_actions, crashes=fault_actions)
+def test_exactly_once_or_counted_lost_under_crashes(workload, churn, crashes):
+    """§2.1 extended through failures: random task crashes (dead cores)
+    interleave with elasticity churn and the balancer's own reassignments.
+    Every admitted batch must be processed exactly once or dead-lettered
+    with exact counters — and survivors keep per-key arrival order."""
+    from repro.faults.recovery import DeadLetterReaper
+    from repro.metrics.recovery import RecoveryStats
+
+    env = Environment()
+    cluster = Cluster(env, num_nodes=3, cores_per_node=4)
+    logic = OrderProbe()
+    spec = OperatorSpec("op", logic=logic, num_executors=1,
+                        shards_per_executor=16)
+    executor = ElasticExecutor(
+        env, cluster, spec, index=0, local_node=0,
+        config=ExecutorConfig(balance_interval=0.25),
+    )
+    executor.connect([], sink_recorder=lambda b, n: None)
+    executor.start(initial_cores=2)
+
+    stats = RecoveryStats()
+    lost: typing.List[TupleBatch] = []
+    reaper = DeadLetterReaper(env, stats, on_lost=lost.append)
+
+    fed: typing.Dict[typing.Tuple[int, int], int] = {}
+    sequence: typing.Dict[int, int] = {}
+
+    def feeder():
+        for key, count in workload:
+            seq = sequence.get(key, 0)
+            sequence[key] = seq + 1
+            fed[(key, seq)] = count
+            yield executor.input_queue.put(
+                TupleBatch(key=key, count=count, cpu_cost=0.5e-3,
+                           size_bytes=64, created_at=env.now, payload=seq)
+            )
+            yield env.timeout(0.005)
+
+    env.process(feeder())
+
+    def churner():
+        for delay, action in churn:
+            yield env.timeout(delay)
+            if not executor.alive:
+                return
+            if action == "add_local":
+                yield from executor.add_core(0)
+            elif action == "add_remote":
+                yield from executor.add_core(1 + (executor.num_cores % 2))
+            elif action == "remove" and executor.num_cores > 1:
+                node = next(iter(executor.cores_by_node()))
+                try:
+                    yield from executor.remove_core(node)
+                except ValueError:
+                    # A concurrent crash can steal the task this removal
+                    # meant to keep; refusing to drop the last survivor
+                    # is the correct response, not a failure.
+                    pass
+
+    env.process(churner())
+
+    def crasher():
+        # Runs concurrently with the churner and the balance daemon, so a
+        # crash can land mid-reassignment — the hardest case for the
+        # protocol's label/pause machinery.
+        for delay in crashes:
+            yield env.timeout(delay)
+            if len(executor.tasks) < 2:
+                continue  # keep at least one survivor to re-home onto
+            victim = min(executor.tasks.values(), key=lambda t: t.task_id)
+            node = victim.node_id
+            orphans = executor.crash_tasks([victim], reaper)
+            yield env.timeout(0.05)  # detection delay
+            yield from executor.rehome_orphans(
+                orphans, node, stats, rebuild_rate=100e6, lose_state=False
+            )
+
+    env.process(crasher())
+    env.run(until=40.0)
+
+    # Exactly once or counted lost — nothing silently dropped, nothing
+    # duplicated, nothing stuck in a queue or pause buffer at the end.
+    assert len(logic.seen) + len(lost) == len(workload)
+    assert stats.batches_lost.total == len(lost)
+    assert stats.tuples_lost.total == sum(batch.count for batch in lost)
+    assert executor.routing.buffered_items() == 0
+    for task in executor.tasks.values():
+        assert len(task.queue) == 0
+    seen_ids = {(key, seq) for key, seq in logic.seen}
+    lost_ids = {(batch.key, batch.payload) for batch in lost}
+    assert seen_ids.isdisjoint(lost_ids)
+    assert seen_ids | lost_ids == set(fed)
+
+    # Order: survivors of each key still process in arrival order.
+    last: typing.Dict[int, int] = {}
+    for key, seq in logic.seen:
+        assert last.get(key, -1) < seq, f"key {key} out of order"
+        last[key] = seq
+
+    # State: crashes with lose_state=False migrate state intact, so every
+    # key's count equals exactly the processed (non-lost) batches.
+    expected: typing.Dict[int, int] = {}
+    for (key, seq), count in fed.items():
+        if (key, seq) in seen_ids:
+            expected[key] = expected.get(key, 0) + count
+    for key, total in expected.items():
+        found = sum(
+            store.get(shard_id).data.get(key, 0)
+            for store in executor.stores.values()
+            for shard_id in store.shard_ids
+        )
+        assert found == total, f"key {key}: state {found} != processed {total}"
+
+
 @settings(max_examples=20, deadline=None)
 @given(
     sizes=st.lists(st.integers(min_value=1, max_value=2000), min_size=5, max_size=40),
