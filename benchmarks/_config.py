@@ -98,6 +98,7 @@ def build_micro_system(
     omega: float = 2.0,
     scale: BenchScale = CURRENT,
     seed: int = 42,
+    telemetry: bool = False,
     **workload_overrides: typing.Any,
 ) -> typing.Tuple[StreamSystem, MicroBenchmarkWorkload]:
     """A micro-benchmark system at the suite's scale."""
@@ -119,6 +120,7 @@ def build_micro_system(
         num_nodes=scale.num_nodes,
         cores_per_node=scale.cores_per_node,
         source_instances=scale.source_instances,
+        telemetry=telemetry,
     )
     return StreamSystem(topology, workload, config), workload
 
@@ -129,11 +131,12 @@ def run_micro(
     omega: float = 2.0,
     scale: BenchScale = CURRENT,
     seed: int = 42,
+    telemetry: bool = False,
     **workload_overrides: typing.Any,
 ):
     system, _ = build_micro_system(
         paradigm, rate=rate, omega=omega, scale=scale, seed=seed,
-        **workload_overrides,
+        telemetry=telemetry, **workload_overrides,
     )
     return system.run(duration=scale.duration, warmup=scale.warmup), system
 

@@ -19,6 +19,7 @@ from repro.executors.config import ExecutorConfig
 from repro.logic import SyntheticLogic
 from repro.sim import Environment
 from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
+from repro.telemetry import EventBus
 from repro.topology import OperatorSpec
 
 from _config import emit
@@ -33,8 +34,14 @@ class _FakeUpstream:
 
 
 def rc_sync_time(upstreams: int) -> float:
-    """Protocol cost of one idle RC repartitioning round."""
+    """Protocol cost of one idle RC repartitioning round.
+
+    Measured from the ``rc_sync`` control-plane span the protocol emits,
+    not a hand-rolled stopwatch — the same data an exported run report
+    shows.
+    """
     env = Environment()
+    env.telemetry = EventBus(env)
     cluster = Cluster(env, num_nodes=8, cores_per_node=8)
     spec = OperatorSpec("op", logic=SyntheticLogic(), num_executors=2,
                         shards_per_executor=8)
@@ -42,29 +49,30 @@ def rc_sync_time(upstreams: int) -> float:
     manager.connect([], None)
     manager.bootstrap(2, nodes=[0, 1])
     manager.connect_upstreams([_FakeUpstream(i % 8) for i in range(upstreams)])
-    done = {}
 
     def body():
-        start = env.now
         yield from manager._repartition(moves=[], removed=[])
-        done["elapsed"] = env.now - start
 
     env.process(body())
     env.run(until=120.0)
-    return done["elapsed"]
+    (span,) = env.telemetry.spans_named("rc_sync")
+    assert span.closed and span.attrs["status"] == "ok"
+    return span.duration
 
 
 def elasticutor_sync_time(upstreams: int) -> float:
     """Protocol cost of one idle Elasticutor shard reassignment.
 
     Measured the same way as :func:`rc_sync_time` — pure synchronization
-    with no queued work — so the comparison isolates what the paper's
-    Figure 9(a) isolates.  The upstream count is irrelevant by design
-    (inter-operator independence): the executor only drains its own task.
+    with no queued work, read from the ``reassign`` control-plane span —
+    so the comparison isolates what the paper's Figure 9(a) isolates.
+    The upstream count is irrelevant by design (inter-operator
+    independence): the executor only drains its own task.
     """
     from repro.executors import ElasticExecutor
 
     env = Environment()
+    env.telemetry = EventBus(env)
     cluster = Cluster(env, num_nodes=4, cores_per_node=8)
     spec = OperatorSpec("op", logic=SyntheticLogic(), num_executors=1,
                         shards_per_executor=8)
@@ -79,17 +87,16 @@ def elasticutor_sync_time(upstreams: int) -> float:
     env.process(body())
     env.run(until=1.0)
     tasks = list(executor.tasks.values())
-    done = {}
 
     def reassign():
         shard = next(iter(executor.routing.shards_of(tasks[0])))
-        start = env.now
         yield from executor._reassign(shard, tasks[1])
-        done["elapsed"] = env.now - start
 
     env.process(reassign())
     env.run(until=10.0)
-    return done["elapsed"]
+    span = env.telemetry.spans_named("reassign")[-1]
+    assert span.closed and span.attrs["status"] == "ok"
+    return span.duration
 
 
 def migration_time(state_bytes: int, inter_node: bool, rc_style: bool) -> float:

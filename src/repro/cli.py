@@ -6,11 +6,19 @@ Run single experiments or paradigm comparisons without writing code::
     python -m repro compare --workload sse --rate 25000
     python -m repro scale-out --cores 1 2 4 8 16
     python -m repro faults --fault-spec "node_crash@30:node=5"
+    python -m repro run --telemetry-out out/run1 && python -m repro report out/run1
+
+``--json`` switches any run-style command to machine-readable output;
+``--telemetry-out DIR`` enables the telemetry layer and exports the
+event/span log, metric series and summary there (see
+docs/observability.md).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import typing
 
@@ -58,6 +66,7 @@ def _build_config(args: argparse.Namespace, paradigm: Paradigm) -> SystemConfig:
         fault_spec=getattr(args, "fault_spec", None),
         detection_delay=getattr(args, "detection_delay", 0.25),
         state_rebuild_bytes_per_s=getattr(args, "rebuild_mbps", 100.0) * 1e6,
+        telemetry=bool(getattr(args, "telemetry_out", None)),
     )
 
 
@@ -65,13 +74,45 @@ def _run_once(args: argparse.Namespace, paradigm: Paradigm):
     workload, topology = _build_workload(args)
     system = StreamSystem(topology, workload, _build_config(args, paradigm))
     result = system.run(duration=args.duration, warmup=args.warmup)
-    return result
+    return result, system
+
+
+def _export_telemetry(
+    args: argparse.Namespace,
+    system: StreamSystem,
+    result: typing.Any,
+    subdir: typing.Optional[str] = None,
+) -> None:
+    out = getattr(args, "telemetry_out", None)
+    if not out:
+        return
+    from repro.telemetry.exporters import export_run
+
+    out_dir = os.path.join(out, subdir) if subdir else out
+    export_run(
+        out_dir,
+        system.telemetry,
+        summary=result.to_dict(),
+        meta={
+            "paradigm": system.config.paradigm.value,
+            "workload": args.workload,
+            "rate": args.rate,
+            "duration": args.duration,
+            "warmup": args.warmup,
+            "seed": args.seed,
+        },
+    )
+    print(f"... telemetry exported to {out_dir}", file=sys.stderr)
 
 
 def cmd_run(args: argparse.Namespace) -> int:
     paradigm = PARADIGM_NAMES[args.paradigm]
-    result = _run_once(args, paradigm)
-    print(result.summary())
+    result, system = _run_once(args, paradigm)
+    _export_telemetry(args, system, result)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
     return 0
 
 
@@ -82,8 +123,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
         ["paradigm", "throughput (t/s)", "mean latency (ms)", "p99 (ms)",
          "migration (MB/s)", "remote (MB/s)"],
     )
+    results = {}
     for paradigm in Paradigm:
-        result = _run_once(args, paradigm)
+        result, system = _run_once(args, paradigm)
+        _export_telemetry(args, system, result, subdir=paradigm.value)
+        results[paradigm.value] = result.to_dict()
         table.add_row(
             paradigm.value,
             result.throughput_tps,
@@ -93,7 +137,10 @@ def cmd_compare(args: argparse.Namespace) -> int:
             result.remote_transfer_rate / 1e6,
         )
         print(f"... {paradigm.value} done", file=sys.stderr)
-    print(table.render())
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(table.render())
     return 0
 
 
@@ -109,8 +156,11 @@ def cmd_faults(args: argparse.Namespace) -> int:
         ["paradigm", "throughput (t/s)", "p99 (ms)", "tuples lost",
          "rerouted", "downtime (s)", "steady state (s)"],
     )
+    results = {}
     for name in args.paradigms:
-        result = _run_once(args, PARADIGM_NAMES[name])
+        result, system = _run_once(args, PARADIGM_NAMES[name])
+        _export_telemetry(args, system, result, subdir=PARADIGM_NAMES[name].value)
+        results[PARADIGM_NAMES[name].value] = result.to_dict()
         recovery = result.recovery
         table.add_row(
             PARADIGM_NAMES[name].value,
@@ -122,7 +172,21 @@ def cmd_faults(args: argparse.Namespace) -> int:
             result.time_to_steady_state,
         )
         print(f"... {name} done", file=sys.stderr)
-    print(table.render())
+    if args.json:
+        print(json.dumps(results, indent=2, sort_keys=True))
+    else:
+        print(table.render())
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render a run report from an exported telemetry artifact."""
+    from repro.telemetry.report import render_report, report_dict
+
+    if args.json:
+        print(json.dumps(report_dict(args.path), indent=2, sort_keys=True))
+    else:
+        print(render_report(args.path, sparkline_width=args.width))
     return 0
 
 
@@ -180,6 +244,14 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="seconds between a failure and recovery start")
     parser.add_argument("--rebuild-mbps", type=float, default=100.0,
                         help="state rebuild rate in MB/s for lost replicas")
+    parser.add_argument("--json", action="store_true",
+                        help="print machine-readable JSON instead of text")
+    parser.add_argument(
+        "--telemetry-out", default=None, metavar="DIR",
+        help="enable telemetry and export events.jsonl / series.csv / "
+             "metrics.prom / summary.json to DIR (per-paradigm "
+             "subdirectories for compare/faults)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -225,6 +297,18 @@ def build_parser() -> argparse.ArgumentParser:
     scale_parser.add_argument("--duration", type=float, default=10.0)
     scale_parser.add_argument("--warmup", type=float, default=5.0)
     scale_parser.set_defaults(func=cmd_scale_out)
+
+    report_parser = sub.add_parser(
+        "report", help="render a run report from an exported telemetry dir"
+    )
+    report_parser.add_argument(
+        "path", help="telemetry directory (or events.jsonl) from --telemetry-out"
+    )
+    report_parser.add_argument("--json", action="store_true",
+                               help="machine-readable report")
+    report_parser.add_argument("--width", type=int, default=40,
+                               help="sparkline width in the timeline table")
+    report_parser.set_defaults(func=cmd_report)
     return parser
 
 

@@ -311,6 +311,10 @@ class ElasticExecutor:
                     self._remote_senders.pop(node_id, None)
                     return  # crashed while the remote process was spawning
             self._create_task(node_id)
+            self.env.telemetry.emit(
+                "core_added", source=self.name, node=node_id,
+                cores=len(self.tasks),
+            )
             yield from self._rebalance_locked()
         finally:
             self._control.release()
@@ -337,8 +341,17 @@ class ElasticExecutor:
                 yield from self._reassign(shard_id, dst_task)
             yield from self._forward(STOP, victim)
             yield victim.process
+            if victim.task_id not in self.tasks:
+                # A crash destroyed the victim while its queue drained;
+                # _kill_task already deregistered it and recovery owns
+                # the orphaned shards.
+                return
             del self.tasks[victim.task_id]
             self.routing.unregister_task(victim)
+            self.env.telemetry.emit(
+                "core_removed", source=self.name, node=node_id,
+                cores=len(self.tasks),
+            )
         finally:
             self._control.release()
 
@@ -371,25 +384,37 @@ class ElasticExecutor:
             try:
                 self._snapshot_loads()
                 trigger = self.config.theta * self.config.balance_trigger_margin
-                if self.imbalance() > trigger:
+                delta = self.imbalance()
+                if delta > trigger:
+                    self.env.telemetry.emit(
+                        "rebalance_triggered", source=self.name,
+                        imbalance=delta, trigger=trigger,
+                    )
                     yield from self._rebalance_locked()
             finally:
                 self._control.release()
 
     def _rebalance_locked(self) -> typing.Generator:
         """Plan and execute shard moves.  Caller must hold the control lock."""
-        shard_loads = {i: self._shard_load[i] for i in range(self.num_shards)}
-        if sum(shard_loads.values()) <= 0:
-            # No load statistics yet (fresh start / new tasks before any
-            # traffic): spread by shard count so every core has work the
-            # moment tuples arrive.
-            yield from self._spread_by_count()
-            return
-        moves = self._balancer.plan(
-            shard_loads, self.routing.assignment(), list(self.tasks.values())
-        )
-        for move in moves:
-            yield from self._reassign(move.shard_id, move.dst)
+        bus = self.env.telemetry
+        span = bus.begin_span("rebalance", source=self.name)
+        try:
+            shard_loads = {i: self._shard_load[i] for i in range(self.num_shards)}
+            if sum(shard_loads.values()) <= 0:
+                # No load statistics yet (fresh start / new tasks before any
+                # traffic): spread by shard count so every core has work the
+                # moment tuples arrive.
+                yield from self._spread_by_count()
+                span.finish(status="ok", mode="spread_by_count")
+                return
+            moves = self._balancer.plan(
+                shard_loads, self.routing.assignment(), list(self.tasks.values())
+            )
+            for move in moves:
+                yield from self._reassign(move.shard_id, move.dst)
+            span.finish(status="ok", moves=len(moves))
+        finally:
+            span.finish(status="aborted")
 
     def _spread_by_count(self) -> typing.Generator:
         tasks = list(self.tasks.values())
@@ -420,74 +445,93 @@ class ElasticExecutor:
             # The shard was orphaned by a crash; recovery owns it (state
             # may need rebuilding first), so balancing leaves it alone.
             return
-        started = self.env.now
-        if self.config.reassignment_overhead > 0:
-            yield self.env.timeout(self.config.reassignment_overhead)
-        # 1. Pause routing for the shard; new arrivals buffer in the entry.
-        entry.paused = True
-        # 2. Drain: a labeling tuple chases all pending tuples of the shard.
-        label_event = self.env.event()
-        yield from self._forward(LabelTuple(shard_id, label_event), src_task)
-        yield label_event
-        sync_done = self.env.now
-        # Re-validate after the drain: a crash may have intervened (dead
-        # queues succeed their labels via the dead-letter reaper).
-        if entry.task is not src_task:
-            # Crash recovery orphaned or already re-homed the shard —
-            # abandon this move, recovery owns it now.
-            return
-        if dst_task.stopped or dst_task.task_id not in self.tasks:
-            live = [t for t in self.tasks.values() if not t.stopped]
-            if not live:
-                # Every core died mid-move; leave the shard paused for the
-                # fault coordinator to re-home or rebuild.
+        bus = self.env.telemetry
+        span = bus.begin_span("reassign", source=self.name, shard=shard_id)
+        try:
+            started = self.env.now
+            if self.config.reassignment_overhead > 0:
+                yield self.env.timeout(self.config.reassignment_overhead)
+            # 1. Pause routing for the shard; new arrivals buffer in the entry.
+            entry.paused = True
+            span.mark("pause")
+            # 2. Drain: a labeling tuple chases all pending tuples of the shard.
+            label_event = self.env.event()
+            yield from self._forward(LabelTuple(shard_id, label_event), src_task)
+            yield label_event
+            sync_done = self.env.now
+            span.mark("drain")
+            # Re-validate after the drain: a crash may have intervened (dead
+            # queues succeed their labels via the dead-letter reaper).
+            if entry.task is not src_task:
+                # Crash recovery orphaned or already re-homed the shard —
+                # abandon this move, recovery owns it now.
                 return
-            dst_task = min(live, key=lambda t: (self._task_load(t), t.task_id))
-            if dst_task is src_task:
-                while entry.buffer:
-                    yield from self._forward(entry.buffer.popleft(), src_task)
-                entry.paused = False
-                return
-        # 3. Migrate state only across processes (intra-process sharing).
-        # With an external state store nothing ever moves — that design's
-        # whole appeal (its cost lives in every state access instead).
-        migrated_bytes = 0
-        inter_node = src_task.node_id != dst_task.node_id
-        if self.external_state is not None:
-            pass
-        elif inter_node:
-            src_store = self.stores[src_task.node_id]
-            dst_store = self.stores[dst_task.node_id]
-            migrated_bytes = src_store.get(shard_id).nominal_bytes
-            yield from migrate_shard(
-                self.env, self.cluster.network, src_store, dst_store,
-                shard_id, self.migration_clock,
+            if dst_task.stopped or dst_task.task_id not in self.tasks:
+                live = [t for t in self.tasks.values() if not t.stopped]
+                if not live:
+                    # Every core died mid-move; leave the shard paused for the
+                    # fault coordinator to re-home or rebuild.
+                    return
+                dst_task = min(live, key=lambda t: (self._task_load(t), t.task_id))
+                if dst_task is src_task:
+                    while entry.buffer:
+                        yield from self._forward(entry.buffer.popleft(), src_task)
+                    entry.paused = False
+                    return
+            # 3. Migrate state only across processes (intra-process sharing).
+            # With an external state store nothing ever moves — that design's
+            # whole appeal (its cost lives in every state access instead).
+            migrated_bytes = 0
+            inter_node = src_task.node_id != dst_task.node_id
+            if self.external_state is not None:
+                pass
+            elif inter_node:
+                src_store = self.stores[src_task.node_id]
+                dst_store = self.stores[dst_task.node_id]
+                migrated_bytes = src_store.get(shard_id).nominal_bytes
+                yield from migrate_shard(
+                    self.env, self.cluster.network, src_store, dst_store,
+                    shard_id, self.migration_clock,
+                )
+            elif self.config.disable_state_sharing:
+                # Ablation: without intra-process state sharing, a same-node
+                # move still serializes + copies the shard state.
+                state_bytes = self.stores[src_task.node_id].get(shard_id).nominal_bytes
+                migrated_bytes = state_bytes
+                copy_delay = 2 * self.migration_clock.serialization_delay(state_bytes)
+                if copy_delay > 0:
+                    yield self.env.timeout(copy_delay)
+            migration_done = self.env.now
+            span.mark("migration")
+            # 4. Update the routing table, flush buffered tuples, resume.
+            self.routing.assign(shard_id, dst_task)
+            while entry.buffer:
+                item = entry.buffer.popleft()
+                yield from self._forward(item, dst_task)
+            entry.paused = False
+            span.mark("routing_update")
+            self.reassignment_stats.record(
+                ReassignmentRecord(
+                    time=started,
+                    shard_id=shard_id,
+                    inter_node=inter_node,
+                    sync_seconds=sync_done - started,
+                    migration_seconds=migration_done - sync_done,
+                    migrated_bytes=migrated_bytes,
+                )
             )
-        elif self.config.disable_state_sharing:
-            # Ablation: without intra-process state sharing, a same-node
-            # move still serializes + copies the shard state.
-            state_bytes = self.stores[src_task.node_id].get(shard_id).nominal_bytes
-            migrated_bytes = state_bytes
-            copy_delay = 2 * self.migration_clock.serialization_delay(state_bytes)
-            if copy_delay > 0:
-                yield self.env.timeout(copy_delay)
-        migration_done = self.env.now
-        # 4. Update the routing table, flush buffered tuples, resume.
-        self.routing.assign(shard_id, dst_task)
-        while entry.buffer:
-            item = entry.buffer.popleft()
-            yield from self._forward(item, dst_task)
-        entry.paused = False
-        self.reassignment_stats.record(
-            ReassignmentRecord(
-                time=started,
-                shard_id=shard_id,
-                inter_node=inter_node,
-                sync_seconds=sync_done - started,
+            span.finish(status="ok", inter_node=inter_node,
+                        migrated_bytes=migrated_bytes)
+            bus.emit(
+                "reassignment", source=self.name, shard=shard_id,
+                inter_node=inter_node, sync_seconds=sync_done - started,
                 migration_seconds=migration_done - sync_done,
-                migrated_bytes=migrated_bytes,
+                migrated_bytes=migrated_bytes, started=started,
             )
-        )
+        finally:
+            # Early returns and crash kills land here with the span still
+            # open: close it as aborted so exported logs stay well-formed.
+            span.finish(status="aborted")
 
     # -- fault recovery (fail-stop crashes, see repro.faults) --------------
 
@@ -645,6 +689,11 @@ class ElasticExecutor:
         state migrates instead: free to a same-node task thanks to
         intra-process sharing, serialization + transfer otherwise.
         """
+        bus = self.env.telemetry
+        span = bus.begin_span(
+            "rehome", source=self.name, failed_node=failed_node,
+            lose_state=lose_state,
+        )
         yield self._control.request()
         try:
             if lose_state and failed_node != self.local_node:
@@ -683,7 +732,9 @@ class ElasticExecutor:
                 entry.paused = False
                 if flushed:
                     stats.tuples_rerouted.add(flushed)
+            span.finish(status="ok", orphans=len(orphans))
         finally:
+            span.finish(status="aborted")
             self._control.release()
 
     def _restore_shard_state(

@@ -494,72 +494,92 @@ class RCOperatorManager:
         """Operator-level key repartitioning with global synchronization."""
         started = self.env.now
         self.repartition_count += 1
-        # (a) Pause all upstream executors.
-        self.gate.close()
-        yield from self._control_round()
-        # (b) Wait for all in-flight tuples to be processed.
-        yield self.in_flight.wait_zero()
-        drain_done = self.env.now
-        # (c) Migrate state between node-level stores.
-        migrations: typing.List[typing.Tuple[int, bool, float, int]] = []
-        for shard_id, src, dst in moves:
-            if not src.alive or not dst.alive:
-                # A crash intervened while this round was planned/running;
-                # crash recovery re-homes the shard, don't touch it here.
-                continue
-            inter_node = src.node_id != dst.node_id
-            migration_started = self.env.now
-            migrated_bytes = 0
-            if inter_node:
-                # The manager orchestrates each cross-node move with a
-                # control command to the source node — the coordination
-                # overhead the executor-centric design avoids (its moves
-                # are local to one executor's main process).
-                yield self.cluster.network.transfer(
-                    self.manager_node, src.node_id, self.config.control_bytes,
-                    purpose=TransferPurpose.CONTROL,
-                )
-                src_store = self.store_for_node(src.node_id)
-                dst_store = self.store_for_node(dst.node_id)
-                if shard_id not in src_store:
-                    continue  # state died with a crashed node mid-round
-                migrated_bytes = src_store.get(shard_id).nominal_bytes
-                yield from migrate_shard(
-                    self.env, self.cluster.network, src_store, dst_store,
-                    shard_id, self.migration_clock,
-                )
-            migrations.append(
-                (shard_id, inter_node, self.env.now - migration_started, migrated_bytes)
-            )
-            self._assignment[shard_id] = dst
-        # (d) Update the routing tables of all upstream executors.
-        yield from self._control_round()
-        update_done = self.env.now
-        self.gate.open()
-        # Retire removed executors (their queues are drained by now).
-        for executor in removed:
-            executor.input_queue.put_nowait(STOP)
-            if executor in self.executors:
-                self.executors.remove(executor)
-            try:
-                self.cluster.cores.release(executor.name, executor.node_id, 1)
-            except CoreAllocationError:
-                pass  # its node crashed; the holdings were already withdrawn
-        sync_seconds = (drain_done - started) + (update_done - drain_done) - sum(
-            duration for _, _, duration, _ in migrations
+        bus = self.env.telemetry
+        span = bus.begin_span(
+            "rc_sync", source=self.spec.name,
+            moves=len(moves), removed=len(removed),
         )
-        sync_seconds = max(0.0, sync_seconds)
-        for shard_id, inter_node, duration, migrated_bytes in migrations:
-            self.reassignment_stats.record(
-                ReassignmentRecord(
-                    time=started,
-                    shard_id=shard_id,
-                    inter_node=inter_node,
-                    sync_seconds=sync_seconds,
-                    migration_seconds=duration,
-                    migrated_bytes=migrated_bytes,
+        try:
+            # (a) Pause all upstream executors.
+            self.gate.close()
+            yield from self._control_round()
+            span.mark("pause")
+            # (b) Wait for all in-flight tuples to be processed.
+            yield self.in_flight.wait_zero()
+            drain_done = self.env.now
+            span.mark("drain")
+            # (c) Migrate state between node-level stores.
+            migrations: typing.List[typing.Tuple[int, bool, float, int]] = []
+            for shard_id, src, dst in moves:
+                if not src.alive or not dst.alive:
+                    # A crash intervened while this round was planned/running;
+                    # crash recovery re-homes the shard, don't touch it here.
+                    continue
+                inter_node = src.node_id != dst.node_id
+                migration_started = self.env.now
+                migrated_bytes = 0
+                if inter_node:
+                    # The manager orchestrates each cross-node move with a
+                    # control command to the source node — the coordination
+                    # overhead the executor-centric design avoids (its moves
+                    # are local to one executor's main process).
+                    yield self.cluster.network.transfer(
+                        self.manager_node, src.node_id, self.config.control_bytes,
+                        purpose=TransferPurpose.CONTROL,
+                    )
+                    src_store = self.store_for_node(src.node_id)
+                    dst_store = self.store_for_node(dst.node_id)
+                    if shard_id not in src_store:
+                        continue  # state died with a crashed node mid-round
+                    migrated_bytes = src_store.get(shard_id).nominal_bytes
+                    yield from migrate_shard(
+                        self.env, self.cluster.network, src_store, dst_store,
+                        shard_id, self.migration_clock,
+                    )
+                migrations.append(
+                    (shard_id, inter_node, self.env.now - migration_started, migrated_bytes)
                 )
+                self._assignment[shard_id] = dst
+            span.mark("migration")
+            # (d) Update the routing tables of all upstream executors.
+            yield from self._control_round()
+            update_done = self.env.now
+            self.gate.open()
+            span.mark("routing_update")
+            # Retire removed executors (their queues are drained by now).
+            for executor in removed:
+                executor.input_queue.put_nowait(STOP)
+                if executor in self.executors:
+                    self.executors.remove(executor)
+                try:
+                    self.cluster.cores.release(executor.name, executor.node_id, 1)
+                except CoreAllocationError:
+                    pass  # its node crashed; the holdings were already withdrawn
+            sync_seconds = (drain_done - started) + (update_done - drain_done) - sum(
+                duration for _, _, duration, _ in migrations
             )
+            sync_seconds = max(0.0, sync_seconds)
+            for shard_id, inter_node, duration, migrated_bytes in migrations:
+                self.reassignment_stats.record(
+                    ReassignmentRecord(
+                        time=started,
+                        shard_id=shard_id,
+                        inter_node=inter_node,
+                        sync_seconds=sync_seconds,
+                        migration_seconds=duration,
+                        migrated_bytes=migrated_bytes,
+                    )
+                )
+                bus.emit(
+                    "reassignment", source=self.spec.name, shard=shard_id,
+                    inter_node=inter_node, sync_seconds=sync_seconds,
+                    migration_seconds=duration, migrated_bytes=migrated_bytes,
+                    started=started,
+                )
+            span.finish(status="ok", migrations=len(migrations),
+                        sync_seconds=sync_seconds)
+        finally:
+            span.finish(status="aborted")
 
     # -- crash recovery (the slow, global path — see repro.faults) ----------
 
@@ -583,6 +603,11 @@ class RCOperatorManager:
         if not dead:
             return
         started = self.env.now
+        bus = self.env.telemetry
+        span = bus.begin_span(
+            "rc_recovery", source=self.spec.name, dead=len(dead),
+            state_lost=state_lost,
+        )
         yield self._protocol_lock.request()
         self._recovering = True
         try:
@@ -602,9 +627,11 @@ class RCOperatorManager:
             # (a) Pause all upstream executors.
             self.gate.close()
             yield from self._control_round()
+            span.mark("pause")
             # (b) Drain: losses surface via the dead-letter reapers, which
             # forget them from the in-flight ledger.
             yield self.in_flight.wait_zero()
+            span.mark("drain")
             # (c) Re-home every orphaned shard onto the survivors.
             dead_ids = {id(e) for e in dead}
             orphans = sorted(
@@ -665,9 +692,13 @@ class RCOperatorManager:
                         )
                         stats.bytes_remigrated.add(nbytes)
                 self._assignment[shard_id] = dst
+            span.mark("migration")
             # (d) Push updated routing tables to every upstream, resume.
             yield from self._control_round()
+            span.mark("routing_update")
+            span.finish(status="ok", orphans=len(orphans))
         finally:
+            span.finish(status="aborted")
             self.gate.open()
             self._recovering = False
             self._protocol_lock.release()

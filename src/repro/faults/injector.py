@@ -43,4 +43,9 @@ class FaultInjector:
                 yield self.env.timeout(event.time - self.env.now)
             self.stats.faults_injected.add(1)
             self.applied.append(event)
+            self.env.telemetry.emit(
+                "fault", source="injector", fault=event.kind.value,
+                node=event.node, target=event.target,
+                factor=event.factor, duration=event.duration,
+            )
             self.coordinator.apply(event)

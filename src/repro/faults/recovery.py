@@ -115,6 +115,13 @@ class FaultCoordinator:
         )
         self._reapers: typing.Dict[int, DeadLetterReaper] = {}
 
+    def _event(self, kind: str, detail: str) -> None:
+        """Record to recovery stats and mirror onto the telemetry bus."""
+        self.stats.record_event(self.env.now, kind, detail)
+        self.env.telemetry.emit(
+            "fault_event", source="faults", event=kind, detail=detail
+        )
+
     # -- dispatch ----------------------------------------------------------
 
     def apply(self, event: FaultEvent) -> None:
@@ -161,7 +168,10 @@ class FaultCoordinator:
         if not cluster.is_alive(node):
             return
         cluster.fail_node(node)
-        self.stats.record_event(self.env.now, "node_crash", f"node={node}")
+        bus = self.env.telemetry
+        span = bus.begin_span("recovery", source="faults",
+                              fault="node_crash", detail=f"node={node}")
+        self._event("node_crash", f"node={node}")
 
         # Destruction is immediate: processes on the node die now, and
         # their queued/in-flight work dead-letters with exact counters.
@@ -199,8 +209,10 @@ class FaultCoordinator:
                     # re-home onto, so the executor restarts from scratch.
                     executor.crash_main(reaper)
                     restarts.append((executor, prev_cores))
+        span.mark("destroyed")
 
         yield self.env.timeout(self.detection_delay)
+        span.mark("detected")
 
         # Sources are backed by a replayable input; they re-host and
         # catch up rather than lose tuples.
@@ -219,7 +231,9 @@ class FaultCoordinator:
         for executor, prev_cores in restarts:
             procs.append(
                 self.env.process(
-                    self._restart_executor(executor, target_cores=prev_cores)
+                    self._restart_executor(
+                        executor, target_cores=prev_cores, parent_span=span
+                    )
                 )
             )
         for op_name in sorted(rc_dead):
@@ -235,11 +249,14 @@ class FaultCoordinator:
         for proc in procs:
             if not proc.triggered:
                 yield proc
+        span.mark("repaired")
 
         # Re-run global allocation over the surviving cores.
         if system.scheduler is not None:
             yield from system.scheduler.reschedule()
-        self.stats.record_event(self.env.now, "node_recovered", f"node={node}")
+        self._event("node_recovered", f"node={node}")
+        span.finish(status="ok", rehomes=len(rehomes),
+                    restarts=len(restarts), rc_operators=len(rc_dead))
 
     # -- single-core failure -----------------------------------------------
 
@@ -250,9 +267,7 @@ class FaultCoordinator:
         if not cluster.is_alive(node):
             return
         owner = cluster.cores.fail_core(node)
-        self.stats.record_event(
-            self.env.now, "core_failure", f"node={node} owner={owner}"
-        )
+        self._event("core_failure", f"node={node} owner={owner}")
         if owner is None:
             return  # a free core died; no running work was touched
         if owner == SOURCE_OWNER:
@@ -269,43 +284,63 @@ class FaultCoordinator:
         if executor is None:
             return  # owner is not a tracked executor (e.g. test scaffolding)
 
-        manager = getattr(executor, "manager", None)
-        if manager is not None:  # RC: single-core executors die whole
-            executor.crash(self._reaper_for(executor))
-            yield self.env.timeout(self.detection_delay)
-            yield self.env.process(
-                manager.recover_from_crash(
-                    [executor], self.stats, self.rebuild_rate,
-                    state_lost=False,
-                )
-            )
-            return
-
-        # Executor-centric: kill the task pinned to the dead core.  The
-        # hosting process survives, so state migrates instead of rebuilding.
-        reaper = self._reaper_for(executor)
-        victims = [t for t in executor.tasks.values() if t.node_id == node]
-        if not victims:
-            return
-        victim = min(
-            victims,
-            key=lambda t: (len(executor.routing.shards_of(t)), t.task_id),
+        span = self.env.telemetry.begin_span(
+            "recovery", source="faults", fault="core_failure",
+            detail=f"node={node} executor={executor.name}",
         )
-        orphans = executor.crash_tasks([victim], reaper)
-        if executor.tasks:
-            yield self.env.timeout(self.detection_delay)
-            yield self.env.process(
-                executor.rehome_orphans(
-                    orphans, node, self.stats, self.rebuild_rate,
-                    lose_state=False,
+        try:
+            manager = getattr(executor, "manager", None)
+            if manager is not None:  # RC: single-core executors die whole
+                executor.crash(self._reaper_for(executor))
+                span.mark("destroyed")
+                yield self.env.timeout(self.detection_delay)
+                span.mark("detected")
+                yield self.env.process(
+                    manager.recover_from_crash(
+                        [executor], self.stats, self.rebuild_rate,
+                        state_lost=False,
+                    )
                 )
+                span.mark("repaired")
+                span.finish(status="ok", path="rc_global_sync")
+                return
+
+            # Executor-centric: kill the task pinned to the dead core.  The
+            # hosting process survives, so state migrates instead of rebuilding.
+            reaper = self._reaper_for(executor)
+            victims = [t for t in executor.tasks.values() if t.node_id == node]
+            if not victims:
+                return
+            victim = min(
+                victims,
+                key=lambda t: (len(executor.routing.shards_of(t)), t.task_id),
             )
-        else:
-            # Its only worker died (static executors always land here):
-            # the process cannot limp on, so it restarts on a fresh core.
-            executor.crash_main(reaper)
-            yield self.env.timeout(self.detection_delay)
-            yield self.env.process(self._restart_executor(executor))
+            orphans = executor.crash_tasks([victim], reaper)
+            span.mark("destroyed")
+            if executor.tasks:
+                yield self.env.timeout(self.detection_delay)
+                span.mark("detected")
+                yield self.env.process(
+                    executor.rehome_orphans(
+                        orphans, node, self.stats, self.rebuild_rate,
+                        lose_state=False,
+                    )
+                )
+                span.mark("repaired")
+                span.finish(status="ok", path="rehome")
+            else:
+                # Its only worker died (static executors always land here):
+                # the process cannot limp on, so it restarts on a fresh core.
+                executor.crash_main(reaper)
+                yield self.env.timeout(self.detection_delay)
+                span.mark("detected")
+                yield self.env.process(
+                    self._restart_executor(executor, parent_span=span)
+                )
+                span.mark("repaired")
+                span.finish(status="ok", path="restart")
+        finally:
+            span.finish(status="aborted")
 
     # -- transient faults --------------------------------------------------
 
@@ -313,45 +348,38 @@ class FaultCoordinator:
         network = self.system.cluster.network
         previous = network.bandwidth_factor(event.node)
         network.set_bandwidth_factor(event.node, event.factor)
-        self.stats.record_event(
-            self.env.now, "link_degrade",
+        self._event("link_degrade",
             f"node={event.node} factor={event.factor}",
         )
         yield self.env.timeout(event.duration)
         network.set_bandwidth_factor(event.node, previous)
-        self.stats.record_event(
-            self.env.now, "link_restored", f"node={event.node}"
+        self._event("link_restored", f"node={event.node}"
         )
 
     def _partition(self, event: FaultEvent) -> typing.Generator:
         network = self.system.cluster.network
         network.partition_until(event.node, self.env.now + event.duration)
-        self.stats.record_event(
-            self.env.now, "partition",
+        self._event("partition",
             f"node={event.node} duration={event.duration}",
         )
         yield self.env.timeout(event.duration)
-        self.stats.record_event(
-            self.env.now, "partition_healed", f"node={event.node}"
+        self._event("partition_healed", f"node={event.node}"
         )
 
     def _executor_stall(self, event: FaultEvent) -> typing.Generator:
         executor = self._resolve_stall_target(event.target)
         if executor is None:
-            self.stats.record_event(
-                self.env.now, "stall_target_missing", f"target={event.target}"
+            self._event("stall_target_missing", f"target={event.target}"
             )
             return
         previous = executor.stall_factor
         executor.stall_factor = event.factor
-        self.stats.record_event(
-            self.env.now, "executor_stall",
+        self._event("executor_stall",
             f"target={event.target} factor={event.factor}",
         )
         yield self.env.timeout(event.duration)
         executor.stall_factor = previous
-        self.stats.record_event(
-            self.env.now, "stall_cleared", f"target={event.target}"
+        self._event("stall_cleared", f"target={event.target}"
         )
 
     def _resolve_stall_target(self, target: str) -> typing.Optional[typing.Any]:
@@ -378,7 +406,10 @@ class FaultCoordinator:
         return None
 
     def _restart_executor(
-        self, executor: typing.Any, target_cores: int = 1
+        self,
+        executor: typing.Any,
+        target_cores: int = 1,
+        parent_span: typing.Any = None,
     ) -> typing.Generator:
         """Acquire a replacement core and rebuild the executor there.
 
@@ -393,6 +424,10 @@ class FaultCoordinator:
         from repro.executors.static import StaticExecutor
 
         owner = executor.name
+        span = self.env.telemetry.begin_span(
+            "executor_restart", source="faults", executor=owner,
+            parent=parent_span,
+        )
         node = None
         for attempt in range(self.RESTART_ATTEMPTS):
             candidate = self._pick_restart_node()
@@ -416,9 +451,8 @@ class FaultCoordinator:
         if node is None:
             # No capacity anywhere: the executor stays down, and its
             # losses keep counting — conservation remains exact.
-            self.stats.record_event(
-                self.env.now, "restart_stalled", f"executor={owner}"
-            )
+            self._event("restart_stalled", f"executor={owner}")
+            span.finish(status="stalled")
             return
         # Best-effort: bring back the pre-crash core count in the same
         # restart so the recovered key range is not a one-core hotspot.
@@ -445,10 +479,11 @@ class FaultCoordinator:
                 extra_nodes=extras,
             )
         )
-        self.stats.record_event(
-            self.env.now, "executor_restarted",
+        self._event(
+            "executor_restarted",
             f"executor={owner} node={node} cores={1 + len(extras)}",
         )
+        span.finish(status="ok", node=node, cores=1 + len(extras))
 
     def _seize_core(self, needy: typing.Any) -> typing.Generator:
         """Shrink the live executor with the most tasks by one core and
@@ -494,9 +529,7 @@ class FaultCoordinator:
             self.system.cluster.cores.allocate(needy.name, node, 1)
         except CoreAllocationError:
             return None
-        self.stats.record_event(
-            self.env.now, "core_seized", f"donor={donor.name} node={node}"
-        )
+        self._event("core_seized", f"donor={donor.name} node={node}")
         return node
 
     def _pick_restart_node(self) -> typing.Optional[int]:
@@ -527,8 +560,7 @@ class FaultCoordinator:
         if target is None:
             alive = sorted(system.cluster.alive_nodes())
             if not alive:
-                self.stats.record_event(
-                    self.env.now, "source_stranded", f"source={source.name}"
+                self._event("source_stranded", f"source={source.name}"
                 )
                 return
             target = alive[0]  # no free core: co-locate, unreserved
@@ -539,8 +571,7 @@ class FaultCoordinator:
             except CoreAllocationError:
                 pass  # lost the race for the core: co-locate, unreserved
         source.relocate(target)
-        self.stats.record_event(
-            self.env.now, "source_relocated",
+        self._event("source_relocated",
             f"source={source.name} node={target}",
         )
 

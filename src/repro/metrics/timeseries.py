@@ -61,11 +61,17 @@ class TimeSeries:
         """
         if window <= 0 or step <= 0:
             raise ValueError("window and step must be positive")
+        # Sample times come from an integer index (start + window + i*step),
+        # not a `t += step` accumulator: repeated float addition drifts, so
+        # long series would skip or duplicate the final window.
         points = []
-        t = start + window
-        while t <= end + 1e-9:
+        i = 0
+        while True:
+            t = start + window + i * step
+            if t > end + 1e-9:
+                break
             points.append((t, self.window_sum(t - window, t) / window))
-            t += step
+            i += 1
         return points
 
     def to_rows(self) -> typing.List[typing.Tuple[float, float]]:

@@ -70,6 +70,18 @@ class SystemConfig:
     #: Extra restart penalty for the static paradigm: with no elasticity
     #: machinery a crash means a full redeploy of the process.
     static_restart_seconds: float = 5.0
+    #: Enable the telemetry layer (event bus, control-plane spans, metric
+    #: registry + sampler).  Off by default: disabled runs take the no-op
+    #: bus and spawn no sampler, so behavior and results are bit-identical
+    #: to a build without telemetry.
+    telemetry: bool = False
+    #: Metric-registry sampling period (virtual seconds).
+    telemetry_sample_interval: float = 0.5
+    #: Ring-buffer capacity per telemetry series (oldest points drop).
+    telemetry_ring_capacity: int = 4096
+    #: Sample per-shard load series too (per-executor series are always
+    #: sampled when telemetry is on).
+    telemetry_per_shard: bool = True
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1 or self.cores_per_node < 1:
@@ -80,6 +92,10 @@ class SystemConfig:
             raise ValueError("scheduler intervals must be positive")
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
+        if self.telemetry_sample_interval <= 0:
+            raise ValueError("telemetry_sample_interval must be positive")
+        if self.telemetry_ring_capacity < 8:
+            raise ValueError("telemetry_ring_capacity must be >= 8")
         if self.detection_delay < 0:
             raise ValueError("detection_delay must be >= 0")
         if self.state_rebuild_bytes_per_s <= 0:

@@ -25,6 +25,7 @@ from repro.runtime.config import Paradigm, SystemConfig
 from repro.scheduler import DynamicScheduler
 from repro.scheduler.model import MMKModel
 from repro.sim import Environment
+from repro.telemetry import Telemetry
 from repro.topology import Topology
 
 SOURCE_OWNER = "__sources__"
@@ -71,18 +72,30 @@ class SystemResult:
     def measure_window(self) -> float:
         return self.duration - self.warmup
 
+    #: Trace stamps a breakdown needs; traces missing any are incomplete
+    #: (sampled mid-flight at run end, or stamps lost to a crash).
+    TRACE_STAGES = frozenset({"created", "admitted", "received", "task_start", "done"})
+
+    def complete_traces(self) -> typing.List[typing.Dict[str, float]]:
+        return [t for t in self.traces if self.TRACE_STAGES <= set(t)]
+
+    @property
+    def incomplete_traces(self) -> int:
+        """Sampled traces excluded from :meth:`trace_breakdown` because
+        one or more stage stamps are missing — reported, not silently
+        dropped, so a run that loses most of its traces is visible."""
+        return len(self.traces) - len(self.complete_traces())
+
     def trace_breakdown(self) -> typing.Dict[str, float]:
         """Mean seconds per pipeline stage over the sampled traces.
 
         Stages: ``source_wait`` (nominal arrival -> admission),
         ``delivery`` (admission -> last receiver), ``queue`` (receiver ->
-        task), ``service`` (task start -> completion).
+        task), ``service`` (task start -> completion).  Only complete
+        traces contribute; :attr:`incomplete_traces` counts the excluded.
         """
         stages = {"source_wait": 0.0, "delivery": 0.0, "queue": 0.0, "service": 0.0}
-        complete = [
-            t for t in self.traces
-            if {"created", "admitted", "received", "task_start", "done"} <= set(t)
-        ]
+        complete = self.complete_traces()
         if not complete:
             return stages
         n = len(complete)
@@ -103,6 +116,38 @@ class SystemResult:
         """Remote-task data bytes/second over the whole run (Table 2)."""
         return self.remote_task_bytes / self.duration
 
+    def to_dict(self) -> typing.Dict[str, typing.Any]:
+        """JSON-safe summary — the dict behind ``--json`` and the
+        ``summary.json`` exporter (one schema, every consumer)."""
+        return {
+            "paradigm": self.paradigm.value,
+            "duration": self.duration,
+            "warmup": self.warmup,
+            "throughput_tps": self.throughput_tps,
+            "latency": dict(self.latency),
+            "residence": dict(self.residence),
+            "migration_bytes": self.migration_bytes,
+            "migration_rate": self.migration_rate,
+            "remote_task_bytes": self.remote_task_bytes,
+            "remote_transfer_rate": self.remote_transfer_rate,
+            "stream_bytes": self.stream_bytes,
+            "reassignment": {
+                "intra_node": self.reassignment_stats.mean_breakdown(False),
+                "inter_node": self.reassignment_stats.mean_breakdown(True),
+            },
+            "scheduler_rounds": self.scheduler_rounds,
+            "scheduler_mean_wall_seconds": self.scheduler_mean_wall_seconds,
+            "generated_tuples": self.generated_tuples,
+            "processed_tuples": self.processed_tuples,
+            "traces": {
+                "sampled": len(self.traces),
+                "incomplete": self.incomplete_traces,
+                "breakdown": self.trace_breakdown(),
+            },
+            "recovery": dict(self.recovery),
+            "time_to_steady_state": self.time_to_steady_state,
+        }
+
     def summary(self) -> str:
         lines = [
             f"paradigm            : {self.paradigm.value}",
@@ -113,6 +158,11 @@ class SystemResult:
             f"state migration     : {self.migration_rate / 1e6:.2f} MB/s",
             f"remote task traffic : {self.remote_transfer_rate / 1e6:.2f} MB/s",
         ]
+        if self.traces:
+            lines.append(
+                f"traces sampled      : {len(self.traces)} "
+                f"({self.incomplete_traces} incomplete, excluded)"
+            )
         if self.scheduler_rounds:
             lines.append(
                 f"scheduling time     : {self.scheduler_mean_wall_seconds * 1e3:.2f} ms/round"
@@ -169,6 +219,17 @@ class StreamSystem:
         self.recovery_stats = RecoveryStats()
         self.fault_coordinator: typing.Optional[FaultCoordinator] = None
         self.fault_injector: typing.Optional[FaultInjector] = None
+        #: The observability layer (docs/observability.md).  Disabled by
+        #: default: the no-op bus is installed and no sampler runs, so
+        #: results are bit-identical with telemetry on or off.
+        self.telemetry = Telemetry(
+            self.env,
+            enabled=self.config.telemetry,
+            sample_interval=self.config.telemetry_sample_interval,
+            ring_capacity=self.config.telemetry_ring_capacity,
+            per_shard=self.config.telemetry_per_shard,
+        )
+        self.telemetry.attach(self)
         self._build()
         if self.config.fault_spec is not None:
             self.fault_coordinator = FaultCoordinator(self, self.recovery_stats)
@@ -513,6 +574,7 @@ class StreamSystem:
                 )
             )
         self.env.process(self._sampler())
+        self.telemetry.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
         self.env.run(until=duration)

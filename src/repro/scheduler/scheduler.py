@@ -140,6 +140,9 @@ class DynamicScheduler:
         wall_started = time.perf_counter()
         now = self.env.now
         self._round += 1
+        bus = self.env.telemetry
+        span = bus.begin_span("scheduler_round", source="scheduler",
+                              round=self._round)
         live = self.live_executors
         demands = []
         for executor in live:
@@ -194,7 +197,20 @@ class DynamicScheduler:
                 cores_removed=sum(count for _, _, count in removed),
             )
         )
-        yield from self._apply(added, removed)
+        span.mark("planned")
+        try:
+            yield from self._apply(added, removed)
+            span.finish(
+                status="ok",
+                wall_seconds=wall_seconds,
+                total_target_cores=allocation.total_cores,
+                expected_latency=allocation.expected_latency,
+                feasible=allocation.feasible,
+                cores_added=sum(count for _, _, count in added),
+                cores_removed=sum(count for _, _, count in removed),
+            )
+        finally:
+            span.finish(status="aborted")
 
     def _damp_shrinks(
         self, raw_targets: typing.Dict[str, int], budget: int

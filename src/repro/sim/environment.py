@@ -7,6 +7,7 @@ import typing
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Process
+from repro.telemetry.events import NULL_BUS
 
 
 class Environment:
@@ -21,6 +22,13 @@ class Environment:
         self._now = float(initial_time)
         self._queue: list = []
         self._seq = 0
+        #: The telemetry event bus threaded through the kernel: every
+        #: component holding the environment reports control-plane events
+        #: and spans to ``env.telemetry``.  Defaults to the no-op
+        #: :data:`~repro.telemetry.events.NULL_BUS` (zero overhead);
+        #: :class:`~repro.telemetry.core.Telemetry` installs a live bus
+        #: when telemetry is enabled.
+        self.telemetry = NULL_BUS
 
     @property
     def now(self) -> float:

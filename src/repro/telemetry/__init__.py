@@ -1,0 +1,41 @@
+"""Unified telemetry: event bus, control-plane spans, metric registry.
+
+The observability layer of the reproduction (see ``docs/observability.md``):
+
+- :class:`EventBus` / :class:`Span` / :class:`TelemetryEvent` — typed,
+  zero-overhead-when-disabled event stream threaded through the sim
+  kernel (``env.telemetry``), the executors, the scheduler and the fault
+  coordinator.
+- :class:`MetricRegistry` / :class:`RingSeries` — per-executor and
+  per-shard series sampled on a configurable interval.
+- :class:`Telemetry` — the per-run facade a
+  :class:`~repro.runtime.system.StreamSystem` owns.
+
+Exporters (:mod:`repro.telemetry.exporters`) and the run report
+(:mod:`repro.telemetry.report`) are imported lazily by the CLI and the
+benchmarks; they are deliberately not re-exported here to keep this
+package import-light (the sim kernel imports it).
+"""
+
+from repro.telemetry.core import Telemetry
+from repro.telemetry.events import (
+    NULL_BUS,
+    NULL_SPAN,
+    EventBus,
+    NullEventBus,
+    Span,
+    TelemetryEvent,
+)
+from repro.telemetry.registry import MetricRegistry, RingSeries
+
+__all__ = [
+    "EventBus",
+    "MetricRegistry",
+    "NULL_BUS",
+    "NULL_SPAN",
+    "NullEventBus",
+    "RingSeries",
+    "Span",
+    "Telemetry",
+    "TelemetryEvent",
+]

@@ -1,0 +1,163 @@
+"""The per-run telemetry facade: bus + registry + sampler.
+
+One :class:`Telemetry` object lives on each
+:class:`~repro.runtime.system.StreamSystem`.  Disabled (the default) it
+costs nothing: the bus is the no-op :data:`~repro.telemetry.events.NULL_BUS`,
+no sampler process is spawned, and no instrument is registered.  Enabled,
+it attaches a live :class:`~repro.telemetry.events.EventBus` to the
+simulation environment (``env.telemetry`` — how the bus is *threaded
+through the sim kernel*: every component holding the environment reaches
+the same bus), registers the standard gauges over the system's executors
+and cluster, and runs a sampler process on ``sample_interval``.
+
+The sampler only *reads* simulation state, so enabling telemetry never
+perturbs results: same seed → bit-identical ``SystemResult`` either way.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.telemetry.events import EventBus, NULL_BUS, Span, TelemetryEvent
+from repro.telemetry.registry import MetricRegistry, RingSeries
+
+
+class Telemetry:
+    """Bus + registry + sampler for one system run."""
+
+    def __init__(
+        self,
+        env: typing.Any,
+        enabled: bool = False,
+        sample_interval: float = 0.5,
+        ring_capacity: int = 4096,
+        per_shard: bool = True,
+    ) -> None:
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.env = env
+        self.enabled = enabled
+        self.sample_interval = sample_interval
+        self.per_shard = per_shard
+        self.bus: EventBus = EventBus(env) if enabled else NULL_BUS
+        self.registry = MetricRegistry(ring_capacity=ring_capacity)
+        self._system: typing.Optional[typing.Any] = None
+        self._started = False
+
+    # -- wiring ------------------------------------------------------------
+
+    def attach(self, system: typing.Any) -> None:
+        """Install the bus on the environment and register system gauges."""
+        if not self.enabled:
+            return
+        self.env.telemetry = self.bus
+        self._system = system
+        registry = self.registry
+        cluster = system.cluster
+        stats = system.recovery_stats
+        network = cluster.network
+        registry.register_gauge(
+            "cluster_free_cores", lambda: cluster.cores.total_free
+        )
+        registry.register_gauge(
+            "tuples_lost", lambda: stats.tuples_lost.total
+        )
+        registry.register_gauge(
+            "tuples_rerouted", lambda: stats.tuples_rerouted.total
+        )
+        registry.register_gauge(
+            "migrated_state_bytes",
+            lambda: sum(
+                counter.total for purpose, counter in network.bytes_by_purpose.items()
+                if purpose.name == "STATE_MIGRATION"
+            ),
+        )
+        registry.register_gauge(
+            "admitted_tuples",
+            lambda: sum(source.emitted_tuples for source in system.sources),
+        )
+
+    def start(self) -> None:
+        """Spawn the sampler process (idempotent; no-op when disabled)."""
+        if not self.enabled or self._started:
+            return
+        self._started = True
+        self.env.process(self._sampler_loop())
+
+    # -- sampling ----------------------------------------------------------
+
+    def _sampler_loop(self) -> typing.Generator:
+        while True:
+            yield self.env.timeout(self.sample_interval)
+            self.sample()
+
+    def sample(self) -> None:
+        """One tick: per-executor (and optionally per-shard) series plus
+        every registered gauge.  Read-only by construction."""
+        now = self.env.now
+        system = self._system
+        if system is not None:
+            for op_name in system.executors_by_operator:
+                for executor in system.executors_by_operator[op_name]:
+                    self._sample_executor(now, executor)
+            if self.per_shard:
+                # RC tracks shard loads at the operator manager, not the
+                # (single-core) executors.
+                for op_name in getattr(system, "rc_managers", {}):
+                    manager = system.rc_managers[op_name]
+                    for shard_id, load in enumerate(manager._shard_load):
+                        self.registry.series(
+                            "shard_load", executor=op_name, shard=shard_id
+                        ).record(now, load)
+        self.registry.sample(now)
+
+    def _sample_executor(self, now: float, executor: typing.Any) -> None:
+        name = executor.name
+        registry = self.registry
+        metrics = executor.metrics
+        registry.series("executor_arrival_rate", executor=name).record(
+            now, metrics.arrival_rate(now)
+        )
+        registry.series("executor_service_rate", executor=name).record(
+            now, metrics.service_rate()
+        )
+        registry.series("executor_queue_depth", executor=name).record(
+            now, float(len(executor.input_queue))
+        )
+        registry.series("executor_cores", executor=name).record(
+            now, float(getattr(executor, "num_cores", 1))
+        )
+        registry.series("executor_processed_tuples", executor=name).record(
+            now, float(metrics.processed_tuples.total)
+        )
+        state_bytes_fn = getattr(executor, "state_bytes", None)
+        if state_bytes_fn is not None:
+            registry.series("executor_state_bytes", executor=name).record(
+                now, float(state_bytes_fn())
+            )
+        if self.per_shard:
+            shard_load = getattr(executor, "_shard_load", None)
+            if shard_load is not None:
+                for shard_id, load in enumerate(shard_load):
+                    registry.series(
+                        "shard_load", executor=name, shard=shard_id
+                    ).record(now, load)
+
+    # -- convenience views -------------------------------------------------
+
+    @property
+    def events(self) -> typing.List[TelemetryEvent]:
+        return self.bus.events
+
+    @property
+    def spans(self) -> typing.List[Span]:
+        return self.bus.spans
+
+    def spans_named(self, name: str) -> typing.List[Span]:
+        return self.bus.spans_named(name)
+
+    def events_of(self, kind: str) -> typing.List[TelemetryEvent]:
+        return self.bus.events_of(kind)
+
+    def series(self, name: str, **labels: typing.Any) -> RingSeries:
+        return self.registry.series(name, **labels)

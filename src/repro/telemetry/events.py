@@ -1,0 +1,281 @@
+"""Typed telemetry events and control-plane spans.
+
+The :class:`EventBus` is the spine of the observability layer: every
+control-plane action in the system — shard reassignments, RC global
+synchronizations, scheduler rounds, rebalance decisions, fault recovery
+phases — reports to it as a typed :class:`TelemetryEvent` or a
+:class:`Span` with virtual-time phase marks.
+
+Two properties are load-bearing:
+
+- **Zero overhead when disabled.**  Components reach the bus through
+  ``env.telemetry``, which defaults to the :data:`NULL_BUS` singleton —
+  every method is a constant no-op, spans collapse into the shared
+  :data:`NULL_SPAN`, and callers can guard expensive attribute
+  computation behind ``bus.enabled``.
+- **Determinism.**  Recording is purely synchronous: no virtual time is
+  consumed, no events are scheduled, no RNG is touched.  Two same-seed
+  runs — one with telemetry, one without — produce bit-identical
+  simulation results; the instrumented run additionally produces the
+  event/span log.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+
+@dataclasses.dataclass(frozen=True)
+class TelemetryEvent:
+    """One timestamped point event on the bus."""
+
+    time: float
+    kind: str
+    source: str = ""
+    attrs: typing.Dict[str, typing.Any] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "type": "event",
+            "time": self.time,
+            "kind": self.kind,
+            "source": self.source,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, typing.Any]) -> "TelemetryEvent":
+        return cls(
+            time=float(data["time"]),
+            kind=str(data["kind"]),
+            source=str(data.get("source", "")),
+            attrs=dict(data.get("attrs", {})),
+        )
+
+
+class Span:
+    """A control-plane operation with virtual-time start/end and phase marks.
+
+    Marks partition the span into named phases: each ``mark(label)``
+    closes the phase that started at the previous boundary (the span
+    start, or the preceding mark).  For a shard reassignment the marks
+    are ``pause`` → ``drain`` → ``migration`` → ``routing_update``, so
+    Figure-8-style breakdowns fall straight out of :meth:`phases`.
+    """
+
+    __slots__ = (
+        "span_id", "parent_id", "name", "source", "start", "end",
+        "marks", "attrs", "_bus",
+    )
+
+    def __init__(
+        self,
+        bus: "EventBus",
+        span_id: int,
+        name: str,
+        source: str,
+        start: float,
+        parent_id: typing.Optional[int] = None,
+        attrs: typing.Optional[typing.Dict[str, typing.Any]] = None,
+    ) -> None:
+        self._bus = bus
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.source = source
+        self.start = start
+        self.end: typing.Optional[float] = None
+        self.marks: typing.List[typing.Tuple[str, float]] = []
+        self.attrs: typing.Dict[str, typing.Any] = dict(attrs or {})
+
+    @property
+    def closed(self) -> bool:
+        return self.end is not None
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def mark(self, label: str) -> "Span":
+        """Close the current phase at the bus's current virtual time."""
+        if self.end is None:
+            self.marks.append((label, self._bus.now))
+        return self
+
+    def set(self, **attrs: typing.Any) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def finish(self, **attrs: typing.Any) -> "Span":
+        """End the span (idempotent — safe in ``finally`` blocks)."""
+        if self.end is None:
+            self.attrs.update(attrs)
+            self.end = self._bus.now
+            self._bus._finished(self)
+        return self
+
+    def phases(self) -> typing.Dict[str, float]:
+        """Phase label -> seconds, derived from the marks.
+
+        The segment from the last mark to the span end (if nonempty) is
+        reported as ``tail``; a span with no marks is all ``tail``.
+        """
+        end = self.end if self.end is not None else self.start
+        phases: typing.Dict[str, float] = {}
+        previous = self.start
+        for label, time in self.marks:
+            phases[label] = phases.get(label, 0.0) + (time - previous)
+            previous = time
+        if end > previous:
+            phases["tail"] = phases.get("tail", 0.0) + (end - previous)
+        return phases
+
+    def to_dict(self) -> typing.Dict[str, typing.Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "source": self.source,
+            "start": self.start,
+            "end": self.end,
+            "marks": [[label, time] for label, time in self.marks],
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, typing.Any]) -> "Span":
+        span = cls(
+            bus=NULL_BUS,
+            span_id=int(data["id"]),
+            name=str(data["name"]),
+            source=str(data.get("source", "")),
+            start=float(data["start"]),
+            parent_id=data.get("parent"),
+            attrs=dict(data.get("attrs", {})),
+        )
+        span.marks = [(str(label), float(t)) for label, t in data.get("marks", [])]
+        end = data.get("end")
+        span.end = float(end) if end is not None else None
+        return span
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, source={self.source!r}, start={self.start:g}, "
+            f"end={self.end if self.end is None else format(self.end, 'g')})"
+        )
+
+
+class EventBus:
+    """Collects events and spans in virtual-time order.
+
+    ``clock`` is any object with a ``now`` attribute (an
+    :class:`~repro.sim.Environment` in practice).  Subscribers registered
+    with :meth:`subscribe` see every event and every *finished* span —
+    the exporters' streaming hook.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: typing.Any) -> None:
+        self._clock = clock
+        self.events: typing.List[TelemetryEvent] = []
+        self.spans: typing.List[Span] = []
+        self._next_span_id = 1
+        self._subscribers: typing.List[typing.Callable[[typing.Any], None]] = []
+
+    @property
+    def now(self) -> float:
+        return self._clock.now
+
+    def subscribe(self, callback: typing.Callable[[typing.Any], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, kind: str, source: str = "", **attrs: typing.Any) -> None:
+        event = TelemetryEvent(self.now, kind, source, attrs)
+        self.events.append(event)
+        for callback in self._subscribers:
+            callback(event)
+
+    def begin_span(
+        self,
+        name: str,
+        source: str = "",
+        parent: typing.Optional[Span] = None,
+        **attrs: typing.Any,
+    ) -> Span:
+        span = Span(
+            self,
+            self._next_span_id,
+            name,
+            source,
+            self.now,
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=attrs,
+        )
+        self._next_span_id += 1
+        return span
+
+    def _finished(self, span: Span) -> None:
+        self.spans.append(span)
+        for callback in self._subscribers:
+            callback(span)
+
+    def spans_named(self, name: str) -> typing.List[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def events_of(self, kind: str) -> typing.List[TelemetryEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+
+class _NullClock:
+    now = 0.0
+
+
+class NullSpan(Span):
+    """The shared do-nothing span handed out by the disabled bus."""
+
+    def mark(self, label: str) -> "Span":
+        return self
+
+    def set(self, **attrs: typing.Any) -> "Span":
+        return self
+
+    def finish(self, **attrs: typing.Any) -> "Span":
+        return self
+
+
+class NullEventBus(EventBus):
+    """Disabled bus: every operation is a constant-time no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(_NullClock())
+
+    def subscribe(self, callback: typing.Callable[[typing.Any], None]) -> None:
+        pass
+
+    def emit(self, kind: str, source: str = "", **attrs: typing.Any) -> None:
+        pass
+
+    def begin_span(
+        self,
+        name: str,
+        source: str = "",
+        parent: typing.Optional[Span] = None,
+        **attrs: typing.Any,
+    ) -> Span:
+        return NULL_SPAN
+
+    def _finished(self, span: Span) -> None:
+        pass
+
+
+#: Module-level singletons: the default ``env.telemetry`` and the span it
+#: hands out.  Shared state is safe — both are stateless no-ops.
+NULL_BUS = NullEventBus()
+NULL_SPAN = NullSpan(NULL_BUS, 0, "", "", 0.0)
