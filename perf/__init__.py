@@ -1,0 +1,14 @@
+"""Wall-clock performance harness for the simulation kernel.
+
+``perf.harness`` defines the canonical scenarios and the measurement
+loop; ``benchmarks/bench_kernel.py`` is the CLI entry point that writes
+``BENCH_kernel.json`` at the repo root; ``perf.check`` is the CI
+regression gate.  See ``docs/performance.md``.
+"""
+
+from perf.harness import (  # noqa: F401
+    SCENARIOS,
+    ScenarioResult,
+    measure_scenario,
+    run_harness,
+)

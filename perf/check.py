@@ -1,0 +1,105 @@
+"""Perf regression gate: compare BENCH_kernel.json to the committed baseline.
+
+Two checks per scenario:
+
+1. **Behaviour (hard)**: the processed event count must match the baseline
+   *exactly*.  Scenarios are deterministic, so any difference means the
+   kernel's behaviour changed — that is a correctness failure, not a perf
+   regression, and no tolerance applies.
+2. **Speed (soft)**: events/sec must be within ``tolerance`` (default 30%)
+   of the baseline.  Wall-clock numbers move with hardware, so the gate is
+   deliberately loose; it exists to catch order-of-magnitude slips (an
+   accidental O(n) scan in the hot path), not 5% wobble.
+
+Override knobs (both documented in docs/performance.md):
+
+- ``REPRO_PERF_TOLERANCE``: fractional allowed events/sec regression
+  (e.g. ``0.5`` allows a 50% drop — useful on slow CI runners).
+- ``REPRO_PERF_SKIP=1``: skip the speed check entirely (the behaviour
+  check still runs; it is hardware-independent).
+
+Usage::
+
+    PYTHONPATH=src python perf/check.py                 # default paths
+    PYTHONPATH=src python perf/check.py --report X.json --baseline Y.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from perf.harness import BASELINE_PATH, RESULT_PATH  # noqa: E402
+
+DEFAULT_TOLERANCE = 0.30
+
+
+def check(report: dict, baseline: dict, tolerance: float, skip_speed: bool) -> int:
+    failures = []
+    for name, base in baseline["scenarios"].items():
+        row = report["scenarios"].get(name)
+        if row is None:
+            print(f"{name:<10} not in report — skipped")
+            continue
+        if row["events"] != base["events"]:
+            failures.append(
+                f"{name}: event count {row['events']:,} != baseline "
+                f"{base['events']:,} — kernel behaviour changed"
+            )
+            continue
+        floor = base["events_per_sec"] * (1.0 - tolerance)
+        rate = row["events_per_sec"]
+        verdict = "ok"
+        if rate < floor:
+            if skip_speed:
+                verdict = "SLOW (ignored: REPRO_PERF_SKIP)"
+            else:
+                verdict = "FAIL"
+                failures.append(
+                    f"{name}: {rate:,.0f} events/s is below the floor "
+                    f"{floor:,.0f} (baseline {base['events_per_sec']:,.0f} "
+                    f"- {tolerance:.0%})"
+                )
+        print(
+            f"{name:<10} events={row['events']:,} "
+            f"rate={rate:,.0f}/s floor={floor:,.0f}/s {verdict}"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", type=pathlib.Path, default=RESULT_PATH)
+    parser.add_argument("--baseline", type=pathlib.Path, default=BASELINE_PATH)
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional events/sec drop "
+        "(default REPRO_PERF_TOLERANCE or 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", DEFAULT_TOLERANCE))
+    if not 0.0 <= tolerance < 1.0:
+        parser.error(f"tolerance must be in [0, 1), got {tolerance}")
+    skip_speed = os.environ.get("REPRO_PERF_SKIP", "") not in ("", "0")
+
+    with open(args.report, "r", encoding="utf-8") as handle:
+        report = json.load(handle)
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    return check(report, baseline, tolerance, skip_speed)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

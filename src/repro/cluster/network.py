@@ -14,6 +14,7 @@ account state-migration bytes and remote-task data bytes separately
 from __future__ import annotations
 
 import enum
+import heapq
 import typing
 
 from repro.metrics import ByteCounter
@@ -83,36 +84,55 @@ class NetworkFabric:
         """
         if nbytes < 0:
             raise ValueError(f"transfer size must be >= 0, got {nbytes}")
-        event = Event(self.env)
+        env = self.env
+        event = Event.__new__(Event)
+        event.env = env
+        event.callbacks = []
+        event._ok = True
+        event._value = None
         if src_node == dst_node:
-            event._ok = True
-            event._value = None
-            self.env.schedule(event, self.LOCAL_DELIVERY_LATENCY)
+            heapq.heappush(
+                env._queue,
+                (env._now + self.LOCAL_DELIVERY_LATENCY, env._seq, event),
+            )
+            env._seq += 1
             return event
-        self.bytes_by_purpose[purpose].add(int(nbytes))
-        now = self.env.now
+        self.bytes_by_purpose[purpose]._total += int(nbytes)
+        now = env._now
         egress = self._egress[src_node]
         ingress = self._ingress[dst_node]
         # Cut-through reservation: the transfer occupies both NICs over the
         # same interval, so an uncontended transfer pays bytes/bandwidth once
-        # while contention on either endpoint still delays it.
-        start = max(
-            now,
-            egress.busy_until,
-            ingress.busy_until,
-            self._outage_until[src_node],
-            self._outage_until[dst_node],
-        )
-        bandwidth = min(
-            egress.bandwidth * self._bandwidth_factor[src_node],
-            ingress.bandwidth * self._bandwidth_factor[dst_node],
-        )
+        # while contention on either endpoint still delays it.  max()/min()
+        # are unrolled into compares — this runs once per remote message.
+        start = now
+        candidate = egress.busy_until
+        if candidate > start:
+            start = candidate
+        candidate = ingress.busy_until
+        if candidate > start:
+            start = candidate
+        outages = self._outage_until
+        candidate = outages[src_node]
+        if candidate > start:
+            start = candidate
+        candidate = outages[dst_node]
+        if candidate > start:
+            start = candidate
+        factors = self._bandwidth_factor
+        bandwidth = egress.bandwidth * factors[src_node]
+        other = ingress.bandwidth * factors[dst_node]
+        if other < bandwidth:
+            bandwidth = other
         finish = start + nbytes / bandwidth
         egress.busy_until = finish
         ingress.busy_until = finish
-        event._ok = True
-        event._value = None
-        self.env.schedule(event, finish - now + self.base_latency)
+        delay = finish - now + self.base_latency
+        if delay > 0.0:
+            heapq.heappush(env._queue, (env._now + delay, env._seq, event))
+        else:
+            env._ready.append((env._seq, event))
+        env._seq += 1
         return event
 
     def transfer_duration_estimate(self, src_node: int, dst_node: int, nbytes: float) -> float:

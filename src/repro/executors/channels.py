@@ -13,7 +13,111 @@ from __future__ import annotations
 import typing
 
 from repro.cluster.network import NetworkFabric, TransferPurpose
-from repro.sim import Environment, Resource, Store
+from repro.sim import Environment, Event, Resource, Store
+from repro.sim.events import PENDING
+
+
+class _Delivery:
+    """Callback-driven remote delivery (one per in-flight window slot).
+
+    Functionally this is the generator process ``transfer -> queue.put ->
+    window.release`` — but hand-compiled to three callbacks on a slotted
+    object, which skips a generator frame, a Process object and a
+    StopIteration unwind per remote message.  The event/sequence footprint
+    is identical to the generator version it replaced (bootstrap event at
+    creation, a hop on the transfer, a hop on the destination put, then a
+    completion event), so simulation ordering is bit-for-bit unchanged.
+    """
+
+    __slots__ = ("sender", "transfer", "queue", "item", "completion")
+
+    def __init__(
+        self, sender: "WindowedSender", transfer: Event, queue: Store, item: typing.Any
+    ) -> None:
+        self.sender = sender
+        self.transfer = transfer
+        self.queue = queue
+        self.item = item
+        env = sender.env
+        # Both events inlined (__new__ + slot writes): one delivery per
+        # remote message makes even Event.__init__ frames measurable.
+        completion = Event.__new__(Event)
+        completion.env = env
+        completion.callbacks = []
+        completion._value = PENDING
+        completion._ok = None
+        self.completion = completion
+        bootstrap = Event.__new__(Event)
+        bootstrap.env = env
+        bootstrap.callbacks = [self._on_bootstrap]
+        bootstrap._ok = True
+        bootstrap._value = None
+        env._ready.append((env._seq, bootstrap))
+        env._seq += 1
+
+    def _on_bootstrap(self, _event: Event) -> None:
+        transfer = self.transfer
+        if transfer.callbacks is None:  # zero-latency fabric: already fired
+            self._on_transfer(transfer)
+        else:
+            transfer.callbacks.append(self._on_transfer)
+
+    def _on_transfer(self, _event: Event) -> None:
+        self.queue.put(self.item).callbacks.append(self._on_put)
+
+    def _on_put(self, _event: Event) -> None:
+        sender = self.sender
+        # Inlined Resource.release fast path (a held slot is guaranteed,
+        # so the no-slot error check is unreachable here).
+        window = sender._window
+        if window._waiters:
+            window._waiters.popleft().succeed()
+        else:
+            window._in_use -= 1
+        completion = self.completion
+        completion._ok = True
+        completion._value = None
+        env = sender.env
+        env._ready.append((env._seq, completion))
+        env._seq += 1
+
+
+class _RemoteSend:
+    """Callback registered on the window-grant event.
+
+    Starts the network transfer and hands off to :class:`_Delivery` the
+    moment the window slot is granted — replacing the ``send()``
+    subgenerator for callers that can yield a single event.  It runs
+    during the grant event's processing, *before* the waiting caller's
+    resume callback (callbacks fire in append order), which is exactly
+    when the subgenerator version would have issued the transfer, so the
+    event/sequence footprint is unchanged.
+    """
+
+    __slots__ = ("sender", "dst_node", "queue", "item", "nbytes", "purpose")
+
+    def __init__(
+        self,
+        sender: "WindowedSender",
+        dst_node: int,
+        queue: Store,
+        item: typing.Any,
+        nbytes: float,
+        purpose: TransferPurpose,
+    ) -> None:
+        self.sender = sender
+        self.dst_node = dst_node
+        self.queue = queue
+        self.item = item
+        self.nbytes = nbytes
+        self.purpose = purpose
+
+    def __call__(self, _event: Event) -> None:
+        sender = self.sender
+        hop = sender.fabric.transfer(
+            sender.src_node, self.dst_node, self.nbytes, self.purpose
+        )
+        _Delivery(sender, hop, self.queue, self.item)
 
 
 class WindowedSender:
@@ -24,6 +128,8 @@ class WindowedSender:
     fabric's links are FIFO and destination-store put-waiters are FIFO.
     Same-node sends bypass the network and block directly on the queue.
     """
+
+    __slots__ = ("env", "fabric", "src_node", "_window")
 
     def __init__(
         self,
@@ -60,9 +166,27 @@ class WindowedSender:
             return
         yield self._window.request()
         transfer = self.fabric.transfer(self.src_node, dst_node, nbytes, purpose)
-        self.env.process(self._deliver(transfer, queue, item))
+        _Delivery(self, transfer, queue, item)
 
-    def _deliver(self, transfer, queue: Store, item: typing.Any) -> typing.Generator:
-        yield transfer
-        yield queue.put(item)
-        self._window.release()
+    def send_event(
+        self,
+        dst_node: int,
+        queue: Store,
+        item: typing.Any,
+        nbytes: float,
+        purpose: TransferPurpose,
+    ) -> Event:
+        """Single-event form of :meth:`send` for hot-path callers.
+
+        Returns one event to yield: the put (local) or the window grant
+        (remote, with a :class:`_RemoteSend` callback continuing the
+        delivery).  Semantically identical to ``yield from send(...)``
+        without the subgenerator frame.
+        """
+        if dst_node == self.src_node:
+            return queue.put(item)
+        request = self._window.request()
+        request.callbacks.append(
+            _RemoteSend(self, dst_node, queue, item, nbytes, purpose)
+        )
+        return request

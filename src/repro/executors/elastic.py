@@ -12,21 +12,22 @@ to make same-node reassignments free.
 
 from __future__ import annotations
 
+import heapq
 import typing
 
 from repro.cluster.network import TransferPurpose
 from repro.cluster.node import Cluster
 from repro.executors.balancer import ShardBalancer
-from repro.executors.channels import WindowedSender
+from repro.executors.channels import WindowedSender, _Delivery
 from repro.executors.config import ExecutorConfig
 from repro.executors.routing import RoutingTable
 from repro.executors.stats import ExecutorMetrics, ReassignmentRecord, ReassignmentStats
 from repro.executors.task import STOP, Task
 from repro.logic.base import OperatorLogic, StateAccess
-from repro.sim import Environment, Resource, Store
+from repro.sim import Environment, Event, Resource, Store
 from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
 from repro.topology.batch import LabelTuple, TupleBatch
-from repro.topology.keys import shard_of_key
+from repro.topology.keys import shard_lookup
 from repro.topology.operator import OperatorSpec
 
 
@@ -57,6 +58,9 @@ class ElasticExecutor:
         self.reassignment_stats = reassignment_stats or ReassignmentStats()
         self.migration_clock = migration_clock or MigrationClock()
         self.num_shards = spec.shards_per_executor
+        #: Memoized tier-2 routing (key -> shard).  The hash is static, so
+        #: each key pays the splitmix64 mix once; validation happened here.
+        self._shard_lookup = shard_lookup(self.num_shards)
 
         #: Optional :class:`repro.state.external.ExternalStateService` —
         #: when set, shard state lives in the external store (every batch
@@ -179,19 +183,46 @@ class ElasticExecutor:
     # -- data plane -------------------------------------------------------
 
     def _receiver_loop(self) -> typing.Generator:
-        """Single entrance for all tuples from upstream operators."""
+        """Single entrance for all tuples from upstream operators.
+
+        The hottest per-batch loop in the executor; queue handles and the
+        routing structures are bound to locals once per daemon lifetime
+        (crash recovery replaces the plumbing and then spawns a *fresh*
+        daemon, so the bindings can never go stale) and the local-task
+        branch of :meth:`_forward` is inlined to skip a generator frame
+        per batch.
+        """
+        env = self.env
+        get = self.input_queue.get
+        lookup = self._shard_lookup
+        entries = self.routing._entries
+        on_arrival = self.metrics.on_arrival
+        local_node = self.local_node
+        sender = self._receiver_sender
+        window_request = sender._window.request
+        transfer = sender.fabric.transfer
         while True:
-            batch = yield self.input_queue.get()
-            now = self.env.now
+            batch = yield get()
             if batch.trace is not None:
-                batch.trace["received"] = now
-            self.metrics.on_arrival(now, batch.count, batch.total_bytes)
-            shard_id = shard_of_key(batch.key, self.num_shards)
-            entry = self.routing.entry(shard_id)
+                batch.trace["received"] = env._now
+            count = batch.count
+            on_arrival(env._now, count, count * batch.size_bytes)
+            entry = entries[lookup[batch.key]]
             if entry.paused:
                 entry.buffer.append(batch)
                 continue
-            yield from self._forward(batch, entry.task)
+            task = entry.task
+            if task.node_id == local_node:
+                yield task.queue.put(batch)
+            else:
+                # Inlined WindowedSender.send remote branch: admit into the
+                # window, start the transfer, hand off to the delivery FSM.
+                yield window_request()
+                hop = transfer(
+                    local_node, task.node_id,
+                    count * batch.size_bytes, TransferPurpose.REMOTE_TASK,
+                )
+                _Delivery(sender, hop, task.queue, batch)
 
     def _forward(
         self, item: typing.Any, task: Task, nbytes: typing.Optional[float] = None
@@ -208,30 +239,47 @@ class ElasticExecutor:
 
     def process_batch(self, task: Task, batch: TupleBatch) -> typing.Generator:
         """Execute one batch on ``task``'s core (called from Task loop)."""
+        env = self.env
+        logic = self.logic
         if batch.trace is not None:
-            batch.trace["task_start"] = self.env.now
-        cost = self.logic.cpu_seconds(batch) if self.logic else 0.0
+            batch.trace["task_start"] = env._now
+        cost = logic.cpu_seconds(batch) if logic is not None else 0.0
         # Wall time on this core; slow nodes (stragglers) and injected
         # stalls take longer, and everything downstream — shard loads, µ,
         # the scheduler — sees the measured reality, not the nominal cost.
+        # cluster.speed is read per batch on purpose: straggler injection
+        # changes it mid-run.
         cost = cost / (self.cluster.speed(task.node_id) * self.stall_factor)
         if cost > 0:
-            yield self.env.timeout(cost)
-        shard_id = shard_of_key(batch.key, self.num_shards)
+            # Inlined timeout (one per processed batch): a bare triggered
+            # event pushed at now + cost, skipping the Timeout frames.
+            wake = Event.__new__(Event)
+            wake.env = env
+            wake.callbacks = []
+            wake._ok = True
+            wake._value = None
+            heapq.heappush(env._queue, (env._now + cost, env._seq, wake))
+            env._seq += 1
+            yield wake
+        shard_id = self._shard_lookup[batch.key]
         self._shard_cost_accum[shard_id] += cost
-        emissions = []
-        if self.logic is not None:
+        emissions = ()
+        if logic is not None:
             if self.external_state is not None:
                 shard = yield from self.external_state.access(
                     self.name, shard_id, task.node_id
                 )
             else:
                 shard = self.stores[task.node_id].get(shard_id)
-            emissions = self.logic.process(batch, StateAccess(shard))
-        now = self.env.now
-        self.metrics.on_processed(now, batch.count, cost)
-        reference = batch.admitted_at if batch.admitted_at is not None else batch.created_at
-        self.metrics.queue_latency.record(max(0.0, now - reference))
+            emissions = logic.process(batch, StateAccess(shard))
+        now = env._now
+        metrics = self.metrics
+        metrics.on_processed(now, batch.count, cost)
+        reference = batch.admitted_at
+        if reference is None:
+            reference = batch.created_at
+        waited = now - reference
+        metrics.queue_latency.record(waited if waited > 0.0 else 0.0)
         if self.operator_in_flight is not None:
             self.operator_in_flight.decrement()
         if batch.trace is not None:
@@ -269,10 +317,14 @@ class ElasticExecutor:
 
     def _emitter_loop(self) -> typing.Generator:
         """Single exit: forwards outputs to all downstream operators."""
+        get = self._emitter_queue.get
+        groups = self._downstream_groups
+        local_node = self.local_node
+        sender = self._emitter_sender
         while True:
-            batch = yield self._emitter_queue.get()
-            for group in self._downstream_groups:
-                yield from group.submit(batch, self.local_node, self._emitter_sender)
+            batch = yield get()
+            for group in groups:
+                yield from group.submit(batch, local_node, sender)
 
     # -- elasticity: core membership --------------------------------------
 

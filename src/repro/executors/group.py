@@ -21,9 +21,9 @@ import typing
 from repro.cluster.network import NetworkFabric, TransferPurpose
 from repro.executors.channels import WindowedSender
 from repro.executors.config import ExecutorConfig
-from repro.sim import Environment
+from repro.sim import Environment, Timeout
 from repro.topology.batch import TupleBatch
-from repro.topology.keys import executor_of_key, shard_of_key
+from repro.topology.keys import executor_lookup
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.executors.elastic import ElasticExecutor
@@ -54,11 +54,15 @@ class ElasticGroup:
         self.router = router
         self.gate: typing.Optional[typing.Any] = None
         self.in_flight: typing.Optional[typing.Any] = None
+        #: Memoized tier-1 table, used when no dynamic router is attached
+        #: (the executor list — and thus the static hash — is then fixed
+        #: for the topology's lifetime).  Validated once, here.
+        self._lookup = executor_lookup(len(self.executors))
 
     def route(self, key: int) -> "ElasticExecutor":
         if self.router is not None:
             return self.router.route(key)
-        return self.executors[executor_of_key(key, len(self.executors))]
+        return self.executors[self._lookup[key]]
 
     def submit(
         self, batch: TupleBatch, src_node: int, sender: WindowedSender
@@ -67,14 +71,51 @@ class ElasticGroup:
         if self.gate is not None:
             while self.gate.closed:
                 yield self.gate.wait_open()
-        executor = self.route(batch.key)
+        if self.router is not None:
+            executor = self.router.route(batch.key)
+        else:
+            executor = self.executors[self._lookup[batch.key]]
         if self.in_flight is not None:
             self.in_flight.increment()
-        yield from sender.send(
+        if executor.local_node == src_node:
+            # Same-node delivery: skip the WindowedSender generator frame —
+            # its local branch is exactly this put.
+            yield executor.input_queue.put(batch)
+        else:
+            yield sender.send_event(
+                executor.local_node,
+                executor.input_queue,
+                batch,
+                batch.count * batch.size_bytes,
+                TransferPurpose.STREAM,
+            )
+
+    def submit_event(
+        self, batch: TupleBatch, src_node: int, sender: WindowedSender
+    ) -> typing.Optional[typing.Any]:
+        """One-event fast path of :meth:`submit`.
+
+        Returns a single event to yield, or ``None`` when the gate is
+        closed (caller falls back to the :meth:`submit` generator, which
+        can wait the gate open).
+        """
+        gate = self.gate
+        if gate is not None and gate.closed:
+            return None
+        router = self.router
+        if router is not None:
+            executor = router.route(batch.key)
+        else:
+            executor = self.executors[self._lookup[batch.key]]
+        if self.in_flight is not None:
+            self.in_flight.increment()
+        if executor.local_node == src_node:
+            return executor.input_queue.put(batch)
+        return sender.send_event(
             executor.local_node,
             executor.input_queue,
             batch,
-            batch.total_bytes,
+            batch.count * batch.size_bytes,
             TransferPurpose.STREAM,
         )
 
@@ -95,18 +136,43 @@ class RCGroup:
     ) -> typing.Generator:
         # Respect the repartitioning pause: upstream executors block here
         # while the operator's key space is being repartitioned.
-        gate = self.manager.gate
+        manager = self.manager
+        gate = manager.gate
         while gate.closed:
             yield gate.wait_open()
-        shard_id = shard_of_key(batch.key, self.manager.total_shards)
-        executor = self.manager.executor_for_shard(shard_id)
-        self.manager.record_arrival(executor, batch)
-        self.manager.in_flight.increment()
-        yield from sender.send(
+        shard_id = manager.shard_lookup[batch.key]
+        executor = manager._assignment[shard_id]
+        manager.record_arrival(executor, batch)
+        manager.in_flight.increment()
+        if executor.node_id == src_node:
+            yield executor.input_queue.put(batch)
+        else:
+            yield sender.send_event(
+                executor.node_id,
+                executor.input_queue,
+                batch,
+                batch.count * batch.size_bytes,
+                TransferPurpose.STREAM,
+            )
+
+    def submit_event(
+        self, batch: TupleBatch, src_node: int, sender: WindowedSender
+    ) -> typing.Optional[typing.Any]:
+        """One-event fast path of :meth:`submit` (``None`` = gate closed)."""
+        manager = self.manager
+        if manager.gate.closed:
+            return None
+        shard_id = manager.shard_lookup[batch.key]
+        executor = manager._assignment[shard_id]
+        manager.record_arrival(executor, batch)
+        manager.in_flight.increment()
+        if executor.node_id == src_node:
+            return executor.input_queue.put(batch)
+        return sender.send_event(
             executor.node_id,
             executor.input_queue,
             batch,
-            batch.total_bytes,
+            batch.count * batch.size_bytes,
             TransferPurpose.STREAM,
         )
 
@@ -167,18 +233,28 @@ class SourceInstance:
         self.env.process(self._run(schedule))
 
     def _run(self, schedule: typing.Iterator) -> typing.Generator:
+        # ``self.sender``/``self.node_id`` are read per batch on purpose:
+        # relocate() swaps them when the hosting node crashes.
+        env = self.env
+        trace_every = self.trace_every
         for emit_time, batch in schedule:
-            if emit_time > self.env.now:
-                yield self.env.timeout(emit_time - self.env.now)
-            batch.admitted_at = self.env.now
+            now = env._now
+            if emit_time > now:
+                yield Timeout(env, emit_time - now)
+            batch.admitted_at = env._now
             self._emitted_batches += 1
-            if self.trace_every and self._emitted_batches % self.trace_every == 0:
+            if trace_every and self._emitted_batches % trace_every == 0:
                 batch.trace = {
                     "created": batch.created_at,
                     "admitted": batch.admitted_at,
                 }
             for group in self._groups:
-                yield from group.submit(batch, self.node_id, self.sender)
+                event = group.submit_event(batch, self.node_id, self.sender)
+                if event is not None:
+                    yield event
+                else:
+                    # Gate closed: the generator form can wait it open.
+                    yield from group.submit(batch, self.node_id, self.sender)
             self.emitted_tuples += batch.count
 
     def __repr__(self) -> str:

@@ -30,7 +30,7 @@ from repro.logic.base import OperatorLogic, StateAccess
 from repro.sim import Environment, Event, Resource, Store
 from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
 from repro.topology.batch import TupleBatch
-from repro.topology.keys import shard_of_key
+from repro.topology.keys import shard_lookup
 from repro.topology.operator import OperatorSpec
 
 
@@ -143,7 +143,7 @@ class RCExecutor:
         cost = cost / (self.cluster.speed(self.node_id) * self.stall_factor)
         if cost > 0:
             yield self.env.timeout(cost)
-        shard_id = shard_of_key(batch.key, self.manager.total_shards)
+        shard_id = self.manager.shard_lookup[batch.key]
         emissions = []
         if self.logic is not None:
             store = self.manager.store_for_node(self.node_id)
@@ -247,6 +247,9 @@ class RCOperatorManager:
         self.manager_node = manager_node
         self._logic_factory = logic_factory
         self.total_shards = spec.total_shards
+        #: Memoized operator-level key -> shard table (static hash, so the
+        #: salted mix runs once per distinct key; validated at construction).
+        self.shard_lookup = shard_lookup(self.total_shards)
         self.gate = OperatorGate(env)
         self.in_flight = InFlightCounter(env)
         self.executors: typing.List[RCExecutor] = []
@@ -319,8 +322,8 @@ class RCOperatorManager:
     def record_arrival(self, executor: RCExecutor, batch: TupleBatch) -> None:
         """Called by :class:`RCGroup` when a batch is admitted."""
         now = self.env.now
-        executor.metrics.on_arrival(now, batch.count, batch.total_bytes)
-        shard_id = shard_of_key(batch.key, self.total_shards)
+        executor.metrics.on_arrival(now, batch.count, batch.count * batch.size_bytes)
+        shard_id = self.shard_lookup[batch.key]
         cost = executor.logic.cpu_seconds(batch) if executor.logic else 0.0
         self._shard_cost_accum[shard_id] += cost
 

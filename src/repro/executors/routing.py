@@ -15,16 +15,67 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.executors.task import Task
 
 
+class _CountedBuffer(collections.deque):
+    """A pause buffer that keeps its table's running total exact.
+
+    Every mutation path used on pause buffers (append/popleft and the
+    rarer variants) adjusts the owning :class:`RoutingTable`'s counter,
+    so :meth:`RoutingTable.buffered_items` is O(1) instead of re-summing
+    every shard's buffer on each diagnostics sample.
+    """
+
+    __slots__ = ("_table",)
+
+    def __init__(self, table: "RoutingTable") -> None:
+        super().__init__()
+        self._table = table
+
+    def append(self, item: typing.Any) -> None:
+        self._table._buffered += 1
+        super().append(item)
+
+    def appendleft(self, item: typing.Any) -> None:
+        self._table._buffered += 1
+        super().appendleft(item)
+
+    def extend(self, items: typing.Iterable) -> None:
+        items = list(items)
+        self._table._buffered += len(items)
+        super().extend(items)
+
+    def pop(self) -> typing.Any:
+        item = super().pop()
+        self._table._buffered -= 1
+        return item
+
+    def popleft(self) -> typing.Any:
+        item = super().popleft()
+        self._table._buffered -= 1
+        return item
+
+    def remove(self, item: typing.Any) -> None:
+        super().remove(item)
+        self._table._buffered -= 1
+
+    def clear(self) -> None:
+        self._table._buffered -= len(self)
+        super().clear()
+
+
 class ShardEntry:
     """Routing state of one shard."""
 
     __slots__ = ("shard_id", "task", "paused", "buffer")
 
-    def __init__(self, shard_id: int) -> None:
+    def __init__(
+        self, shard_id: int, buffer: typing.Optional[collections.deque] = None
+    ) -> None:
         self.shard_id = shard_id
         self.task: typing.Optional["Task"] = None
         self.paused = False
-        self.buffer: collections.deque = collections.deque()
+        self.buffer: collections.deque = (
+            buffer if buffer is not None else collections.deque()
+        )
 
     def __repr__(self) -> str:
         state = "paused" if self.paused else "active"
@@ -38,7 +89,10 @@ class RoutingTable:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")
         self.num_shards = num_shards
-        self._entries = [ShardEntry(i) for i in range(num_shards)]
+        self._buffered = 0
+        self._entries = [
+            ShardEntry(i, _CountedBuffer(self)) for i in range(num_shards)
+        ]
         self._shards_by_task: typing.Dict["Task", set] = {}
 
     def entry(self, shard_id: int) -> ShardEntry:
@@ -95,5 +149,9 @@ class RoutingTable:
         return tuple(self._shards_by_task)
 
     def buffered_items(self) -> int:
-        """Total items held in pause buffers (diagnostics)."""
-        return sum(len(entry.buffer) for entry in self._entries)
+        """Total items held in pause buffers (diagnostics).
+
+        O(1): a running counter maintained by the entries' counted
+        buffers, not a re-sum over all shards.
+        """
+        return self._buffered

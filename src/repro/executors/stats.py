@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
-from repro.metrics import EWMA, Counter, LatencyReservoir, WindowedRate
+from repro.metrics import EWMA, Counter, LatencyReservoir, PairedWindowedRate, WindowedRate
 
 
 class ExecutorMetrics:
@@ -16,9 +16,15 @@ class ExecutorMetrics:
     rates that define data intensity (paper §4.2).
     """
 
+    __slots__ = (
+        "_in_rates", "output_bytes", "service_cost",
+        "processed_tuples", "processed_batches", "queue_latency",
+    )
+
     def __init__(self, window: float = 5.0, cost_half_life: float = 5.0) -> None:
-        self.arrivals = WindowedRate(window)
-        self.input_bytes = WindowedRate(window)
+        #: Tuple arrivals and input bytes share one timestamped deque
+        #: (they are recorded together per batch on the hot path).
+        self._in_rates = PairedWindowedRate(window)
         self.output_bytes = WindowedRate(window)
         self.service_cost = EWMA(half_life=cost_half_life, initial=1e-3)
         self.processed_tuples = Counter()
@@ -26,12 +32,12 @@ class ExecutorMetrics:
         self.queue_latency = LatencyReservoir(capacity=2048, seed=17)
 
     def on_arrival(self, now: float, count: int, nbytes: int) -> None:
-        self.arrivals.record(now, count)
-        self.input_bytes.record(now, nbytes)
+        self._in_rates.record(now, count, nbytes)
 
     def on_processed(self, now: float, count: int, cpu_seconds: float) -> None:
-        self.processed_tuples.add(count)
-        self.processed_batches.add(1)
+        # Counter adds inlined (slot writes): once per processed batch.
+        self.processed_tuples._total += count
+        self.processed_batches._total += 1
         if count > 0:
             self.service_cost.update(now, cpu_seconds / count)
 
@@ -40,7 +46,7 @@ class ExecutorMetrics:
 
     def arrival_rate(self, now: float) -> float:
         """λ_j in tuples/second."""
-        return self.arrivals.rate(now)
+        return self._in_rates.rate_a(now)
 
     def service_rate(self) -> float:
         """µ_j: tuples/second one core can process."""
@@ -49,7 +55,7 @@ class ExecutorMetrics:
 
     def data_rate(self, now: float) -> float:
         """Total input+output bytes/second (data-intensity numerator)."""
-        return self.input_bytes.rate(now) + self.output_bytes.rate(now)
+        return self._in_rates.rate_b(now) + self.output_bytes.rate(now)
 
 
 @dataclasses.dataclass

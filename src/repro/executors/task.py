@@ -11,7 +11,7 @@ from __future__ import annotations
 import typing
 
 from repro.sim import Environment, Store
-from repro.topology.batch import LabelTuple
+from repro.topology.batch import LabelTuple, TupleBatch
 
 
 class StopSignal:
@@ -33,6 +33,11 @@ STOP = StopSignal()
 
 class Task:
     """A processing thread bound to one CPU core on one node."""
+
+    __slots__ = (
+        "env", "task_id", "node_id", "owner", "queue", "stopped",
+        "busy_seconds", "current_item", "process",
+    )
 
     def __init__(
         self,
@@ -56,21 +61,28 @@ class Task:
         self.process = env.process(self._run())
 
     def _run(self) -> typing.Generator:
+        env = self.env
+        get = self.queue.get
+        process_batch = self.owner.process_batch
         while True:
-            item = yield self.queue.get()
-            if isinstance(item, StopSignal):
-                self.stopped = True
-                return
-            if isinstance(item, LabelTuple):
-                # FIFO guarantees every tuple routed to this task before the
-                # label has already been processed — signal the drain.
-                item.event.succeed()
-                continue
-            started = self.env.now
+            item = yield get()
+            cls = item.__class__
+            if cls is not TupleBatch:
+                # Control items are rare; exact class checks keep the
+                # common batch path to a single pointer comparison.
+                if cls is StopSignal:
+                    self.stopped = True
+                    return
+                if cls is LabelTuple:
+                    # FIFO guarantees every tuple routed to this task before
+                    # the label has already been processed — signal the drain.
+                    item.event.succeed()
+                    continue
+            started = env._now
             self.current_item = item
-            yield from self.owner.process_batch(self, item)
+            yield from process_batch(self, item)
             self.current_item = None
-            self.busy_seconds += self.env.now - started
+            self.busy_seconds += env._now - started
 
     def kill(self) -> typing.List[typing.Any]:
         """Abruptly terminate the task (hardware failure semantics).

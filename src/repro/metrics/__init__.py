@@ -9,7 +9,7 @@ corresponding virtual-time-aware meters.
 
 from repro.metrics.counters import ByteCounter, Counter
 from repro.metrics.latency import LatencyReservoir
-from repro.metrics.rates import EWMA, WindowedRate
+from repro.metrics.rates import EWMA, PairedWindowedRate, WindowedRate
 from repro.metrics.recovery import RecoveryEvent, RecoveryStats
 from repro.metrics.timeseries import TimeSeries
 
@@ -18,6 +18,7 @@ __all__ = [
     "Counter",
     "EWMA",
     "LatencyReservoir",
+    "PairedWindowedRate",
     "RecoveryEvent",
     "RecoveryStats",
     "TimeSeries",

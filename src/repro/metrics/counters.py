@@ -10,6 +10,8 @@ class Counter:
     harnesses) can read per-interval deltas without resetting history.
     """
 
+    __slots__ = ("_total", "_checkpoint")
+
     def __init__(self) -> None:
         self._total = 0
         self._checkpoint = 0
@@ -36,6 +38,8 @@ class Counter:
 
 class ByteCounter(Counter):
     """A counter for byte volumes with rate helpers."""
+
+    __slots__ = ()
 
     def rate_since(self, elapsed: float) -> float:
         """Average bytes/second over ``elapsed`` seconds, consuming the delta."""

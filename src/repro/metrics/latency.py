@@ -14,11 +14,18 @@ class LatencyReservoir:
     Deterministic given the seed.
     """
 
+    __slots__ = ("capacity", "_rng", "_randrange", "_samples", "_count", "_sum", "_max")
+
     def __init__(self, capacity: int = 8192, seed: int = 0) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._rng = random.Random(seed)
+        # Bound once: record() draws on every observation past capacity,
+        # and the method lookup shows up at data-plane call rates.  Same
+        # generator, so the draw sequence (and thus every percentile in
+        # the committed results) is unchanged.
+        self._randrange = self._rng.randrange
         self._samples: typing.List[float] = []
         self._count = 0
         self._sum = 0.0
@@ -50,7 +57,7 @@ class LatencyReservoir:
         if len(self._samples) < self.capacity:
             self._samples.append(latency)
         else:
-            slot = self._rng.randrange(self._count)
+            slot = self._randrange(self._count)
             if slot < self.capacity:
                 self._samples[slot] = latency
 

@@ -19,6 +19,8 @@ class WindowedRate:
     older than the window and returns events/second.
     """
 
+    __slots__ = ("window", "_events", "_sum")
+
     def __init__(self, window: float) -> None:
         if window <= 0:
             raise ValueError(f"window must be positive, got {window}")
@@ -27,9 +29,15 @@ class WindowedRate:
         self._sum = 0.0
 
     def record(self, now: float, count: float = 1.0) -> None:
-        self._events.append((now, count))
-        self._sum += count
-        self._prune(now)
+        # Inlined prune: record() runs once per batch on the data plane,
+        # and the deque head is almost always inside the window already.
+        events = self._events
+        events.append((now, count))
+        total = self._sum + count
+        horizon = now - self.window
+        while events[0][0] <= horizon:
+            total -= events.popleft()[1]
+        self._sum = total
 
     def rate(self, now: float) -> float:
         """Events per second over the trailing window ending at ``now``."""
@@ -49,12 +57,62 @@ class WindowedRate:
             self._sum -= count
 
 
+class PairedWindowedRate:
+    """Two sliding-window rates sharing one timestamped deque.
+
+    The executor data plane records a (tuple-count, byte-count) pair per
+    batch; keeping both in a single deque halves the append/prune traffic
+    versus two :class:`WindowedRate` instances fed the same timestamps.
+    """
+
+    __slots__ = ("window", "_events", "_sum_a", "_sum_b")
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be positive, got {window}")
+        self.window = window
+        self._events: collections.deque = collections.deque()
+        self._sum_a = 0.0
+        self._sum_b = 0.0
+
+    def record(self, now: float, a: float, b: float) -> None:
+        events = self._events
+        events.append((now, a, b))
+        total_a = self._sum_a + a
+        total_b = self._sum_b + b
+        horizon = now - self.window
+        while events[0][0] <= horizon:
+            _, old_a, old_b = events.popleft()
+            total_a -= old_a
+            total_b -= old_b
+        self._sum_a = total_a
+        self._sum_b = total_b
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window
+        events = self._events
+        while events and events[0][0] <= horizon:
+            _, old_a, old_b = events.popleft()
+            self._sum_a -= old_a
+            self._sum_b -= old_b
+
+    def rate_a(self, now: float) -> float:
+        self._prune(now)
+        return self._sum_a / self.window
+
+    def rate_b(self, now: float) -> float:
+        self._prune(now)
+        return self._sum_b / self.window
+
+
 class EWMA:
     """Exponentially weighted moving average with a virtual-time half-life.
 
     The decay is computed from elapsed virtual time rather than a sample
     count, so estimates stay meaningful under bursty observation patterns.
     """
+
+    __slots__ = ("_decay_rate", "_value", "_last_time", "_initialized")
 
     def __init__(self, half_life: float, initial: float = 0.0) -> None:
         if half_life <= 0:

@@ -27,6 +27,7 @@ from repro.scheduler.model import MMKModel
 from repro.sim import Environment
 from repro.telemetry import Telemetry
 from repro.topology import Topology
+from repro.topology.batch import reset_batch_ids
 
 SOURCE_OWNER = "__sources__"
 
@@ -194,6 +195,9 @@ class StreamSystem:
         self.topology = topology
         self.workload = workload
         self.config = config or SystemConfig()
+        # Batch ids restart at 0 for every system so repeated runs in one
+        # interpreter see identical ids (cross-run determinism).
+        reset_batch_ids()
         self.env = Environment()
         self.cluster = Cluster(
             self.env,
@@ -504,11 +508,13 @@ class StreamSystem:
         if batch.trace is not None:
             self.traces.append(dict(batch.trace))
         if now >= self._warmup:
-            self.sink_latency.record(max(0.0, now - batch.created_at))
-            admitted = (
-                batch.admitted_at if batch.admitted_at is not None else batch.created_at
-            )
-            self.sink_residence.record(max(0.0, now - admitted))
+            age = now - batch.created_at
+            self.sink_latency.record(age if age > 0.0 else 0.0)
+            admitted = batch.admitted_at
+            if admitted is None:
+                admitted = batch.created_at
+            residence = now - admitted
+            self.sink_residence.record(residence if residence > 0.0 else 0.0)
 
     def operator_summary(self) -> typing.List[typing.Dict[str, typing.Any]]:
         """Per-operator snapshot: executors, cores, work done, latency.

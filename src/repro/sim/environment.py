@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import collections
 import heapq
 import typing
 
@@ -16,12 +17,32 @@ class Environment:
     Events scheduled at equal times are processed in schedule order
     (FIFO tie-breaking via a sequence counter), which makes every run
     deterministic.
+
+    Two queues back the clock.  Future events (``delay > 0``) live on a
+    binary heap of ``(time, seq, event)``.  Already-due events
+    (``delay == 0`` — the overwhelming majority: store hand-offs, process
+    wakeups) go to a plain FIFO deque of ``(seq, event)`` instead, which
+    skips the O(log n) heap round-trip.  The merge rule in :meth:`step`
+    compares sequence numbers whenever a heap entry is due at the current
+    time, so the combined processing order is exactly the global
+    ``(time, seq)`` order the single-heap kernel produced:
+
+    - every deque entry was scheduled *at* the current time, so its time
+      component equals ``now``;
+    - heap entries are never in the past (``delay > 0`` at insertion and
+      the clock only advances by popping the heap minimum), so a heap
+      entry competes with the deque only when its time == ``now`` — and
+      then the smaller sequence number wins, same as the heap tie-break.
     """
+
+    __slots__ = ("_now", "_queue", "_ready", "_seq", "_processed", "telemetry")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
         self._queue: list = []
+        self._ready: collections.deque = collections.deque()
         self._seq = 0
+        self._processed = 0
         #: The telemetry event bus threaded through the kernel: every
         #: component holding the environment reports control-plane events
         #: and spans to ``env.telemetry``.  Defaults to the no-op
@@ -35,26 +56,45 @@ class Environment:
         """Current virtual time, in seconds."""
         return self._now
 
+    @property
+    def events_processed(self) -> int:
+        """Total events processed since construction (perf accounting)."""
+        return self._processed
+
     # -- scheduling ------------------------------------------------------
 
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Queue a triggered event for processing ``delay`` seconds from now."""
-        if delay < 0:
+        if delay > 0.0:
+            heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+        elif delay == 0.0:
+            self._ready.append((self._seq, event))
+        else:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._queue, (self._now + delay, self._seq, event))
         self._seq += 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
+        if self._ready:
+            return self._now
         if not self._queue:
             return float("inf")
         return self._queue[0][0]
 
     def step(self) -> None:
-        """Process exactly one event."""
-        if not self._queue:
+        """Process exactly one event (the globally next in (time, seq) order)."""
+        ready = self._ready
+        queue = self._queue
+        if ready:
+            if queue and queue[0][0] <= self._now and queue[0][1] < ready[0][0]:
+                self._now, _, event = heapq.heappop(queue)
+            else:
+                _, event = ready.popleft()
+        elif queue:
+            self._now, _, event = heapq.heappop(queue)
+        else:
             raise SimulationError("no scheduled events")
-        self._now, _, event = heapq.heappop(self._queue)
+        self._processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -65,18 +105,67 @@ class Environment:
         When ``until`` is given, all events scheduled at or before that time
         are processed and the clock is left at exactly ``until``.
         """
-        if until is None:
-            while self._queue:
-                self.step()
-            return
-        until = float(until)
-        if until < self._now:
-            raise SimulationError(
-                f"cannot run to {until}: already at {self._now}"
-            )
-        while self._queue and self._queue[0][0] <= until:
-            self.step()
-        self._now = until
+        # Inlined step() with locals bound outside the loop: this is the
+        # innermost loop of the whole simulator, worth the duplication.
+        # ``now`` mirrors self._now — only this loop advances the clock
+        # (callbacks schedule events but never move time), so the merge
+        # rule reads a local instead of a slot on every event.
+        ready = self._ready
+        queue = self._queue
+        heappop = heapq.heappop
+        processed = 0
+        now = self._now
+        try:
+            if until is None:
+                while ready or queue:
+                    if ready:
+                        if (
+                            queue
+                            and queue[0][0] <= now
+                            and queue[0][1] < ready[0][0]
+                        ):
+                            now, _, event = heappop(queue)
+                            self._now = now
+                        else:
+                            _, event = ready.popleft()
+                    else:
+                        now, _, event = heappop(queue)
+                        self._now = now
+                    processed += 1
+                    callbacks = event.callbacks
+                    event.callbacks = None
+                    for callback in callbacks:
+                        callback(event)
+                return
+            until = float(until)
+            if until < now:
+                raise SimulationError(
+                    f"cannot run to {until}: already at {now}"
+                )
+            while True:
+                if ready:
+                    if (
+                        queue
+                        and queue[0][0] <= now
+                        and queue[0][1] < ready[0][0]
+                    ):
+                        now, _, event = heappop(queue)
+                        self._now = now
+                    else:
+                        _, event = ready.popleft()
+                elif queue and queue[0][0] <= until:
+                    now, _, event = heappop(queue)
+                    self._now = now
+                else:
+                    break
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+            self._now = until
+        finally:
+            self._processed += processed
 
     # -- event factories --------------------------------------------------
 

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import heapq
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -71,7 +72,15 @@ class Event:
             raise SimulationError(f"{self!r} already triggered")
         self._ok = True
         self._value = value
-        self.env.schedule(self, delay)
+        if delay == 0.0:
+            # Inlined Environment.schedule zero-delay path: succeed() with
+            # no delay is the hottest call in the kernel (every store
+            # hand-off and process wakeup lands here).
+            env = self.env
+            env._ready.append((env._seq, self))
+            env._seq += 1
+        else:
+            self.env.schedule(self, delay)
         return self
 
     def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
@@ -103,13 +112,21 @@ class Timeout(Event):
     __slots__ = ("delay",)
 
     def __init__(self, env: "Environment", delay: float, value: typing.Any = None) -> None:
+        # Inlined Event.__init__ + Environment.schedule: one Timeout is
+        # created per processed batch (the CPU-cost wait), so the extra
+        # call frames showed up in profiles.
         if delay < 0:
             raise SimulationError(f"negative timeout delay: {delay}")
-        super().__init__(env)
+        self.env = env
+        self.callbacks = []
         self.delay = delay
         self._ok = True
         self._value = value
-        env.schedule(self, delay)
+        if delay > 0.0:
+            heapq.heappush(env._queue, (env._now + delay, env._seq, self))
+        else:
+            env._ready.append((env._seq, self))
+        env._seq += 1
 
 
 class _Condition(Event):

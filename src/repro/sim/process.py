@@ -29,19 +29,25 @@ class Process(Event):
     never silent.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_send", "_waiting_on", "_on_event")
 
     def __init__(self, env: "Environment", generator: typing.Generator) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
             raise SimulationError(f"process body must be a generator, got {generator!r}")
         super().__init__(env)
         self._generator = generator
+        self._send = generator.send
         self._waiting_on: typing.Optional[Event] = None
+        # The one bound-method object registered as a callback everywhere;
+        # caching it avoids re-binding per suspension and keeps
+        # ``callbacks.remove`` in kill() matching by identity.
+        self._on_event = self._resume
         bootstrap = Event(env)
         bootstrap._ok = True
         bootstrap._value = None
-        bootstrap.callbacks.append(self._resume)
-        env.schedule(bootstrap)
+        bootstrap.callbacks.append(self._on_event)
+        env._ready.append((env._seq, bootstrap))
+        env._seq += 1
 
     @property
     def is_alive(self) -> bool:
@@ -62,7 +68,7 @@ class Process(Event):
         waiting = self._waiting_on
         if waiting is not None:
             try:
-                waiting.callbacks.remove(self._resume)
+                waiting.callbacks.remove(self._on_event)
             except ValueError:
                 pass
             self._waiting_on = None
@@ -71,13 +77,17 @@ class Process(Event):
         return waiting
 
     def _resume(self, event: Event) -> None:
+        # Hot path: slot reads (event._ok/_value, target.callbacks) instead
+        # of the guarded properties — the kernel only delivers triggered
+        # events here, so the guards cannot fire.
         self._waiting_on = None
+        send = self._send
         while True:
             try:
-                if event.ok:
-                    target = self._generator.send(event.value)
+                if event._ok:
+                    target = send(event._value)
                 else:
-                    target = self._generator.throw(event.value)
+                    target = self._generator.throw(event._value)
             except StopIteration as exc:
                 self.succeed(exc.value)
                 return
@@ -89,14 +99,15 @@ class Process(Event):
                 raise ProcessCrash(
                     f"process {name} crashed at t={self.env.now}: {exc!r}"
                 ) from exc
-            if not isinstance(target, Event):
+            callbacks = getattr(target, "callbacks", False)
+            if callbacks is False:
                 raise SimulationError(
                     f"process yielded {target!r}; only events may be yielded"
                 )
-            if target.processed:
+            if callbacks is None:
                 # Already fired: consume its value synchronously and continue.
                 event = target
                 continue
             self._waiting_on = target
-            target.callbacks.append(self._resume)
+            callbacks.append(self._on_event)
             return

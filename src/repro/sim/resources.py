@@ -5,7 +5,7 @@ from __future__ import annotations
 import collections
 import typing
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import PENDING, Event, SimulationError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.environment import Environment
@@ -18,6 +18,8 @@ class Resource:
     Network links use an analytic FIFO model instead (see
     :mod:`repro.cluster.network`) to keep event counts low.
     """
+
+    __slots__ = ("env", "capacity", "_in_use", "_waiters")
 
     def __init__(self, env: "Environment", capacity: int = 1) -> None:
         if capacity < 1:
@@ -39,11 +41,21 @@ class Resource:
 
     def request(self) -> Event:
         """The returned event fires when a slot is granted."""
-        event = Event(self.env)
+        env = self.env
+        event = Event.__new__(Event)
+        event.env = env
+        event.callbacks = []
         if self._in_use < self.capacity:
             self._in_use += 1
-            event.succeed()
+            # Inlined zero-delay succeed: a free slot is the common case
+            # on the data plane (sender windows rarely fill).
+            event._ok = True
+            event._value = None
+            env._ready.append((env._seq, event))
+            env._seq += 1
         else:
+            event._ok = None
+            event._value = PENDING
             self._waiters.append(event)
         return event
 

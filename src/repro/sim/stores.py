@@ -13,7 +13,7 @@ import collections
 import math
 import typing
 
-from repro.sim.events import Event, SimulationError
+from repro.sim.events import PENDING, Event, SimulationError
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.environment import Environment
@@ -30,7 +30,14 @@ class Store:
     empty store queue up and are served in FIFO order, which preserves tuple
     ordering — a correctness requirement for stateful stream processing
     (same-key tuples must be processed in arrival order).
+
+    ``put``/``get``/``put_nowait`` take zero-allocation fast paths (no
+    heap traffic, direct waiter hand-off) that replicate the succeed
+    ordering of the general :meth:`_dispatch` fixpoint loop exactly; see
+    the invariants documented on :meth:`_dispatch`.
     """
+
+    __slots__ = ("env", "capacity", "_items", "_put_waiters", "_get_waiters")
 
     def __init__(self, env: "Environment", capacity: float = math.inf) -> None:
         if capacity <= 0:
@@ -56,23 +63,80 @@ class Store:
 
     def put(self, item: typing.Any) -> Event:
         """Add ``item``; the returned event fires once the item is accepted."""
-        event = Event(self.env)
-        self._put_waiters.append((event, item))
-        self._dispatch()
+        # Event construction is inlined (__new__ + slot writes): put/get
+        # together allocate an event per data-plane hop, so even the
+        # __init__ call frame is measurable.
+        env = self.env
+        event = Event.__new__(Event)
+        event.env = env
+        event.callbacks = []
+        if len(self._items) < self.capacity:
+            # Below capacity ⇒ no blocked putters ahead of us (invariant),
+            # so the put is accepted immediately.  Succeed order matches
+            # _dispatch: the put event first, then (if a getter was
+            # blocked, which implies the buffer was empty) the first
+            # getter receives this very item.
+            event._ok = True
+            event._value = None
+            env._ready.append((env._seq, event))
+            env._seq += 1
+            if self._get_waiters:
+                getter = self._get_waiters.popleft()
+                getter._ok = True
+                getter._value = item
+                env._ready.append((env._seq, getter))
+                env._seq += 1
+            else:
+                self._items.append(item)
+        else:
+            event._ok = None
+            event._value = PENDING
+            self._put_waiters.append((event, item))
         return event
 
     def put_nowait(self, item: typing.Any) -> None:
         """Add ``item`` immediately or raise :class:`StoreFull`."""
+        if self._get_waiters:
+            # Blocked getter ⇒ buffer empty (invariant) ⇒ below capacity:
+            # hand the item straight to the first getter, as _dispatch
+            # would after bouncing it through the buffer.
+            env = self.env
+            getter = self._get_waiters.popleft()
+            getter._ok = True
+            getter._value = item
+            env._ready.append((env._seq, getter))
+            env._seq += 1
+            return
         if len(self._items) >= self.capacity:
             raise StoreFull(f"store at capacity {self.capacity}")
         self._items.append(item)
-        self._dispatch()
 
     def get(self) -> Event:
         """The returned event fires with the next item in FIFO order."""
-        event = Event(self.env)
-        self._get_waiters.append(event)
-        self._dispatch()
+        env = self.env
+        event = Event.__new__(Event)
+        event.env = env
+        event.callbacks = []
+        if self._items:
+            # Items buffered ⇒ no blocked getters ahead of us (invariant).
+            # Succeed order matches _dispatch: the get event first, then —
+            # if taking an item freed a slot of a full store — exactly one
+            # blocked putter is admitted.
+            event._ok = True
+            event._value = self._items.popleft()
+            env._ready.append((env._seq, event))
+            env._seq += 1
+            if self._put_waiters and len(self._items) < self.capacity:
+                putter, pitem = self._put_waiters.popleft()
+                self._items.append(pitem)
+                putter._ok = True
+                putter._value = None
+                env._ready.append((env._seq, putter))
+                env._seq += 1
+        else:
+            event._ok = None
+            event._value = PENDING
+            self._get_waiters.append(event)
         return event
 
     def cancel(self, event: Event) -> bool:
@@ -106,6 +170,17 @@ class Store:
         return items
 
     def _dispatch(self) -> None:
+        """Run put/get matching to fixpoint (general path, used by drain).
+
+        After any public call completes, two invariants hold — they are
+        what makes the fast paths in :meth:`put`/:meth:`get`/
+        :meth:`put_nowait` equivalent to this loop:
+
+        - blocked putters exist only when the buffer is at capacity
+          (hence non-empty, hence no blocked getters);
+        - blocked getters exist only when the buffer is empty (hence
+          below capacity, hence no blocked putters).
+        """
         progressed = True
         while progressed:
             progressed = False

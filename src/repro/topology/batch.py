@@ -5,18 +5,50 @@ contiguous same-key tuples are modeled as one :class:`TupleBatch` carrying a
 count.  All routing decisions are per key, so batching same-key tuples
 changes neither routing nor ordering semantics; latency is recorded per
 batch against the batch's creation time.
+
+:class:`TupleBatch` is the hottest constructor in the codebase, so it is a
+hand-written ``__slots__`` class (not a dataclass) and its argument
+validation only runs when debug validation is on — enable it with
+:func:`set_debug_validation` or the ``REPRO_DEBUG`` environment variable.
 """
 
 from __future__ import annotations
 
-import dataclasses
-import itertools
+import os
 import typing
 
-_batch_ids = itertools.count()
+_next_batch_id = 0
+
+#: Debug-gated validation for the hot constructors.  Off by default; the
+#: test suite switches it on around the cases that exercise it.
+_debug_validation = bool(os.environ.get("REPRO_DEBUG"))
 
 
-@dataclasses.dataclass
+def set_debug_validation(enabled: bool) -> bool:
+    """Toggle constructor validation; returns the previous setting."""
+    global _debug_validation
+    previous = _debug_validation
+    _debug_validation = bool(enabled)
+    return previous
+
+
+def validation_enabled() -> bool:
+    return _debug_validation
+
+
+def reset_batch_ids(start: int = 0) -> None:
+    """Restart the batch-id sequence.
+
+    Batch ids come from a module-level counter; without a reset, a second
+    run in the same interpreter would observe different ids than the
+    first, which is exactly the kind of cross-run nondeterminism the
+    kernel promises not to have.  :class:`repro.runtime.system.StreamSystem`
+    calls this at construction so every run starts from id 0.
+    """
+    global _next_batch_id
+    _next_batch_id = start
+
+
 class TupleBatch:
     """``count`` consecutive tuples sharing one key.
 
@@ -26,29 +58,49 @@ class TupleBatch:
     measured over the whole pipeline.
     """
 
-    key: int
-    count: int
-    cpu_cost: float
-    size_bytes: int
-    created_at: float
-    payload: typing.Any = None
-    #: When the batch actually entered the system (stamped by the source
-    #: at emission).  ``now - admitted_at`` is the paper's *processing
-    #: latency* (residence time); ``now - created_at`` additionally counts
-    #: schedule lag when the source fell behind its nominal arrival times.
-    admitted_at: typing.Optional[float] = None
-    #: Optional latency-breakdown trace (sampled batches only): stage-name
-    #: -> timestamp, carried across operators so a sink sees the full path.
-    trace: typing.Optional[typing.Dict[str, float]] = None
-    batch_id: int = dataclasses.field(default_factory=lambda: next(_batch_ids))
+    __slots__ = (
+        "key", "count", "cpu_cost", "size_bytes", "created_at",
+        "payload", "admitted_at", "trace", "batch_id",
+    )
 
-    def __post_init__(self) -> None:
-        if self.count < 1:
-            raise ValueError(f"batch count must be >= 1, got {self.count}")
-        if self.cpu_cost < 0:
-            raise ValueError(f"cpu_cost must be >= 0, got {self.cpu_cost}")
-        if self.size_bytes < 0:
-            raise ValueError(f"size_bytes must be >= 0, got {self.size_bytes}")
+    def __init__(
+        self,
+        key: int,
+        count: int,
+        cpu_cost: float,
+        size_bytes: int,
+        created_at: float,
+        payload: typing.Any = None,
+        admitted_at: typing.Optional[float] = None,
+        trace: typing.Optional[typing.Dict[str, float]] = None,
+        batch_id: typing.Optional[int] = None,
+    ) -> None:
+        if _debug_validation:
+            if count < 1:
+                raise ValueError(f"batch count must be >= 1, got {count}")
+            if cpu_cost < 0:
+                raise ValueError(f"cpu_cost must be >= 0, got {cpu_cost}")
+            if size_bytes < 0:
+                raise ValueError(f"size_bytes must be >= 0, got {size_bytes}")
+        self.key = key
+        self.count = count
+        self.cpu_cost = cpu_cost
+        self.size_bytes = size_bytes
+        self.created_at = created_at
+        self.payload = payload
+        #: When the batch actually entered the system (stamped by the source
+        #: at emission).  ``now - admitted_at`` is the paper's *processing
+        #: latency* (residence time); ``now - created_at`` additionally counts
+        #: schedule lag when the source fell behind its nominal arrival times.
+        self.admitted_at = admitted_at
+        #: Optional latency-breakdown trace (sampled batches only): stage-name
+        #: -> timestamp, carried across operators so a sink sees the full path.
+        self.trace = trace
+        if batch_id is None:
+            global _next_batch_id
+            batch_id = _next_batch_id
+            _next_batch_id += 1
+        self.batch_id = batch_id
 
     @property
     def total_bytes(self) -> int:
@@ -58,8 +110,14 @@ class TupleBatch:
     def total_cpu_cost(self) -> float:
         return self.count * self.cpu_cost
 
+    def __repr__(self) -> str:
+        return (
+            f"TupleBatch(key={self.key}, count={self.count}, "
+            f"cpu_cost={self.cpu_cost}, size_bytes={self.size_bytes}, "
+            f"created_at={self.created_at}, batch_id={self.batch_id})"
+        )
 
-@dataclasses.dataclass
+
 class Emission:
     """What operator logic emits downstream for one processed batch.
 
@@ -67,10 +125,25 @@ class Emission:
     downstream operator, keeping the upstream batch's ``created_at``.
     """
 
-    key: int
-    count: int
-    size_bytes: int
-    payload: typing.Any = None
+    __slots__ = ("key", "count", "size_bytes", "payload")
+
+    def __init__(
+        self,
+        key: int,
+        count: int,
+        size_bytes: int,
+        payload: typing.Any = None,
+    ) -> None:
+        self.key = key
+        self.count = count
+        self.size_bytes = size_bytes
+        self.payload = payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Emission(key={self.key}, count={self.count}, "
+            f"size_bytes={self.size_bytes})"
+        )
 
 
 class LabelTuple:

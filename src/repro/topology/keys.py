@@ -45,6 +45,42 @@ def shard_of_key(key: int, num_shards: int) -> int:
     return stable_hash(key, _SHARD_SALT) % num_shards
 
 
+class ShardLookup(dict):
+    """Memoized key -> bucket table for one partition tier.
+
+    Both partition tiers are static, so the salted hash of a key never
+    changes: computing it more than once is waste.  A ``ShardLookup``
+    validates the bucket count once at construction and then serves
+    ``lookup[key]`` as a plain dict hit — the splitmix64 mix runs only on
+    the first sighting of each key (via ``__missing__``).  The per-batch
+    hot path in the executors is therefore a single dict index with no
+    validation branch.
+    """
+
+    __slots__ = ("num_buckets", "salt")
+
+    def __init__(self, num_buckets: int, salt: int = _SHARD_SALT) -> None:
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        super().__init__()
+        self.num_buckets = num_buckets
+        self.salt = salt
+
+    def __missing__(self, key: int) -> int:
+        bucket = self[key] = stable_hash(key, self.salt) % self.num_buckets
+        return bucket
+
+
+def shard_lookup(num_shards: int) -> ShardLookup:
+    """A memoized tier-2 (key -> shard) table; validates once, here."""
+    return ShardLookup(num_shards, _SHARD_SALT)
+
+
+def executor_lookup(num_executors: int) -> ShardLookup:
+    """A memoized tier-1 (key -> executor) table; validates once, here."""
+    return ShardLookup(num_executors, _EXECUTOR_SALT)
+
+
 class KeySpace:
     """The integer key domain of an operator's input stream."""
 

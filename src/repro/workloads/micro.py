@@ -95,24 +95,25 @@ class MicroBenchmarkWorkload:
             raise ValueError("instance_index out of range")
         per_instance_rate = self.rate / num_instances
         tuples_per_tick = per_instance_rate * self.tick
+        tick = self.tick
+        batch_size = self.batch_size
+        cost_per_tuple = self.cost_per_tuple
+        tuple_bytes = self.tuple_bytes
+        sample = self.distribution.sample
         carry = 0.0
         tick_index = 0
-        while duration is None or tick_index * self.tick < duration:
-            tick_start = tick_index * self.tick
+        while duration is None or tick_index * tick < duration:
+            tick_start = tick_index * tick
             wanted = tuples_per_tick + carry
-            num_batches = int(wanted / self.batch_size)
-            carry = wanted - num_batches * self.batch_size
+            num_batches = int(wanted / batch_size)
+            carry = wanted - num_batches * batch_size
             if num_batches > 0:
-                keys = self.distribution.sample(num_batches)
-                spacing = self.tick / num_batches
+                keys = sample(num_batches)
+                spacing = tick / num_batches
                 for j, key in enumerate(keys):
                     created = tick_start + j * spacing
-                    self.generated_tuples += self.batch_size
+                    self.generated_tuples += batch_size
                     yield created, TupleBatch(
-                        key=key,
-                        count=self.batch_size,
-                        cpu_cost=self.cost_per_tuple,
-                        size_bytes=self.tuple_bytes,
-                        created_at=created,
+                        key, batch_size, cost_per_tuple, tuple_bytes, created
                     )
             tick_index += 1

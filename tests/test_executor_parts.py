@@ -261,6 +261,29 @@ class TestRoutingTable:
         table.entry(1).buffer.append("y")
         assert table.buffered_items() == 2
 
+    def test_buffered_items_counter_stays_exact(self, env):
+        # buffered_items() is a running counter, not a re-sum; every
+        # deque mutation path must keep it consistent with an actual sum.
+        table = RoutingTable(3)
+
+        def resum():
+            return sum(len(table.entry(i).buffer) for i in range(3))
+
+        buf0, buf1, buf2 = (table.entry(i).buffer for i in range(3))
+        buf0.append("a")
+        buf0.extend(["b", "c"])
+        buf1.appendleft("d")
+        buf2.extend([])
+        assert table.buffered_items() == resum() == 4
+        assert buf0.popleft() == "a"
+        assert buf0.pop() == "c"
+        buf1.remove("d")
+        assert table.buffered_items() == resum() == 1
+        buf2.extend(["e", "f"])
+        buf2.clear()
+        buf1.clear()  # clearing an already-empty buffer must not drift
+        assert table.buffered_items() == resum() == 1
+
     def test_validation(self):
         with pytest.raises(ValueError):
             RoutingTable(0)

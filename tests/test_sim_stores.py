@@ -94,6 +94,105 @@ class TestStoreBasics:
         with pytest.raises(SimulationError):
             Store(env, capacity=0)
 
+    def test_cancel_withdraws_pending_get(self, env):
+        store = Store(env)
+        first = store.get()
+        second = store.get()
+        assert store.cancel(first)
+        store.put_nowait("x")
+        env.run()
+        # The cancelled waiter must not consume the item...
+        assert not first.triggered
+        # ...the next waiter in line gets it instead.
+        assert second.triggered and second.value == "x"
+
+    def test_cancel_withdraws_pending_put(self, env):
+        store = Store(env, capacity=1)
+        store.put_nowait("a")
+        blocked = store.put("b")
+        assert store.cancel(blocked)
+        taken = store.get()
+        env.run()
+        assert taken.value == "a"
+        # The cancelled put never lands: the store drains empty.
+        assert len(store) == 0 and store.pending_puts == 0
+        assert not blocked.triggered
+
+    def test_cancel_of_foreign_event_is_ignored(self, env):
+        store = Store(env)
+        other = Store(env)
+        pending = other.get()
+        assert not store.cancel(pending)
+        assert store.cancel(pending) is False  # idempotent on miss
+        assert other.cancel(pending)  # still queued where it belongs
+
+    def test_drain_admits_blocked_putters(self, env):
+        store = Store(env, capacity=2)
+        store.put_nowait(1)
+        store.put_nowait(2)
+        store.put(3)
+        store.put(4)
+        assert store.pending_puts == 2
+        drained = store.drain()
+        env.run()
+        assert drained == [1, 2]
+        # Both previously blocked producers completed into the freed slots.
+        assert store.pending_puts == 0
+        assert store.items == (3, 4)
+
+    def test_put_nowait_at_exact_capacity(self, env):
+        store = Store(env, capacity=3)
+        for item in (1, 2, 3):
+            store.put_nowait(item)
+        assert len(store) == 3
+        with pytest.raises(StoreFull):
+            store.put_nowait(4)
+        # Failed put_nowait must not corrupt the buffer.
+        assert store.items == (1, 2, 3)
+        # Freeing exactly one slot re-admits exactly one item.
+        first = store.get()
+        env.run()
+        assert first.value == 1
+        store.put_nowait(4)
+        assert store.items == (2, 3, 4)
+
+    def test_put_nowait_hands_item_to_blocked_getter(self, env):
+        store = Store(env, capacity=1)
+        waiter = store.get()
+        store.put_nowait("direct")
+        env.run()
+        # The item went straight to the waiter, never through the buffer.
+        assert waiter.value == "direct"
+        assert len(store) == 0
+
+    def test_simultaneous_wakeups_preserve_fifo_fairness(self, env):
+        # Several getters blocked, then a burst of puts in the same
+        # instant: waiters must be served strictly in arrival order, and
+        # each wakeup fires before any later put's wakeup (no overtaking).
+        store = Store(env, capacity=2)
+        order = []
+
+        def consumer(tag):
+            item = yield store.get()
+            order.append((tag, item, env.now))
+
+        for tag in range(4):
+            env.process(consumer(tag))
+
+        def producer():
+            yield env.timeout(1.0)
+            for item in "abcd":
+                yield store.put(item)
+
+        env.process(producer())
+        env.run()
+        assert order == [
+            (0, "a", 1.0),
+            (1, "b", 1.0),
+            (2, "c", 1.0),
+            (3, "d", 1.0),
+        ]
+
     def test_waiting_gets_served_in_order(self, env):
         store = Store(env)
         received = []

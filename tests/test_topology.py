@@ -7,6 +7,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.logic import SyntheticLogic
+from repro.topology import batch as batch_module
+from repro.topology import keys as keys_module
 from repro.topology import (
     KeySpace,
     TopologyBuilder,
@@ -60,6 +62,37 @@ class TestStableHash:
             shard_of_key(1, 0)
 
 
+class TestShardLookup:
+    def test_matches_module_functions(self):
+        shards = keys_module.shard_lookup(256)
+        executors = keys_module.executor_lookup(32)
+        for key in range(2000):
+            assert shards[key] == shard_of_key(key, 256)
+            assert executors[key] == executor_of_key(key, 32)
+
+    def test_memoizes(self):
+        lookup = keys_module.shard_lookup(16)
+        assert 7 not in lookup
+        value = lookup[7]
+        assert lookup.get(7) == value  # cached: plain dict hit from now on
+
+    def test_validates_at_construction(self):
+        with pytest.raises(ValueError):
+            keys_module.shard_lookup(0)
+        with pytest.raises(ValueError):
+            keys_module.executor_lookup(-1)
+
+    def test_hot_path_stays_validation_free(self):
+        # The per-call path is dict.__getitem__ plus (on first sighting of
+        # a key) __missing__ — neither may grow a validation branch.
+        import inspect
+
+        source = inspect.getsource(keys_module.ShardLookup.__missing__)
+        assert "raise" not in source
+        assert keys_module.ShardLookup.__bases__ == (dict,)
+        assert "__getitem__" not in keys_module.ShardLookup.__dict__
+
+
 class TestKeySpace:
     def test_membership_and_iteration(self):
         space = KeySpace(5)
@@ -78,11 +111,30 @@ class TestTupleBatch:
         assert batch.total_bytes == 1280
         assert batch.total_cpu_cost == pytest.approx(0.01)
 
-    def test_validation(self):
-        with pytest.raises(ValueError):
-            TupleBatch(key=1, count=0, cpu_cost=0.0, size_bytes=0, created_at=0.0)
-        with pytest.raises(ValueError):
-            TupleBatch(key=1, count=1, cpu_cost=-1.0, size_bytes=0, created_at=0.0)
+    def test_validation_when_debug_enabled(self):
+        previous = batch_module.set_debug_validation(True)
+        try:
+            with pytest.raises(ValueError):
+                TupleBatch(key=1, count=0, cpu_cost=0.0, size_bytes=0, created_at=0.0)
+            with pytest.raises(ValueError):
+                TupleBatch(key=1, count=1, cpu_cost=-1.0, size_bytes=0, created_at=0.0)
+        finally:
+            batch_module.set_debug_validation(previous)
+
+    def test_validation_off_by_default(self):
+        # The hot constructor must not pay for validation in normal runs.
+        assert not batch_module.validation_enabled()
+        batch = TupleBatch(key=1, count=0, cpu_cost=-1.0, size_bytes=0, created_at=0.0)
+        assert batch.count == 0
+
+    def test_batch_ids_reset_per_run(self):
+        from repro.topology.batch import reset_batch_ids
+
+        reset_batch_ids()
+        first = TupleBatch(key=1, count=1, cpu_cost=0, size_bytes=0, created_at=0.0)
+        reset_batch_ids()
+        second = TupleBatch(key=1, count=1, cpu_cost=0, size_bytes=0, created_at=0.0)
+        assert first.batch_id == second.batch_id == 0
 
     def test_ids_unique(self):
         a = TupleBatch(key=1, count=1, cpu_cost=0, size_bytes=0, created_at=0.0)
