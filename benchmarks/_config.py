@@ -141,6 +141,87 @@ def run_micro(
     return system.run(duration=scale.duration, warmup=scale.warmup), system
 
 
+def bench_workers() -> int:
+    """Worker processes for sweep-based benchmarks.
+
+    ``REPRO_BENCH_WORKERS`` overrides; the default uses the machine's
+    cores (capped at 8 — beyond that, coordination noise outweighs the
+    win for these grid sizes).  1 means serial in-process.
+    """
+    env = os.environ.get("REPRO_BENCH_WORKERS")
+    if env:
+        return max(1, int(env))
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def micro_trial(
+    paradigm: Paradigm,
+    rate: typing.Optional[float] = None,
+    omega: float = 2.0,
+    scale: BenchScale = CURRENT,
+    seed: int = 42,
+    duration: typing.Optional[float] = None,
+    warmup: typing.Optional[float] = None,
+    **overrides: typing.Any,
+):
+    """A sweep TrialConfig mirroring :func:`build_micro_system` exactly,
+    so sweep-ported benchmarks reproduce the pre-sweep results."""
+    from repro.sweep import TrialConfig
+
+    return TrialConfig(
+        workload="micro",
+        paradigm=paradigm.value,
+        rate=rate if rate is not None else scale.rate,
+        omega=omega,
+        seed=seed,
+        duration=duration if duration is not None else scale.duration,
+        warmup=warmup if warmup is not None else scale.warmup,
+        num_nodes=scale.num_nodes,
+        cores_per_node=scale.cores_per_node,
+        source_instances=scale.source_instances,
+        executors_per_operator=overrides.pop(
+            "executors_per_operator", scale.executors_per_operator
+        ),
+        shards_per_executor=overrides.pop(
+            "shards_per_executor", scale.shards_per_executor
+        ),
+        num_keys=overrides.pop("num_keys", scale.num_keys),
+        skew=overrides.pop("skew", scale.skew),
+        tuple_bytes=overrides.pop("tuple_bytes", 128),
+        batch_size=overrides.pop("batch_size", 20),
+        workload_args=overrides,
+    )
+
+
+def run_bench_sweep(name: str, spec) -> typing.Dict[str, typing.Any]:
+    """Run one benchmark's sweep; returns ``{trial_id: TrialRecord}``.
+
+    The cache and the consolidated artifacts live under
+    ``benchmarks/results/sweeps/<name>/`` — re-running an unchanged
+    benchmark is a pure cache replay, and an interrupted grid resumes.
+    A trial that failed or timed out aborts the benchmark with its
+    structured error (a benchmark cannot assert shapes on holes).
+    """
+    from repro.sweep import SweepRunner
+
+    out_dir = RESULTS_DIR / "sweeps" / name
+    runner = SweepRunner(
+        spec,
+        workers=min(bench_workers(), len(spec)),
+        cache_dir=out_dir / "cache",
+        retries=1,
+    )
+    result = runner.run()
+    result.write(out_dir)
+    if result.failures:
+        details = "; ".join(
+            f"{r.trial_id}: {r.status} {(r.error or {}).get('message', '')}"
+            for r in result.failures
+        )
+        raise RuntimeError(f"sweep {name!r} had failing trials: {details}")
+    return result.by_id()
+
+
 def emit(name: str, text: str, capsys=None) -> None:
     """Print a result table through pytest's capture and persist it."""
     RESULTS_DIR.mkdir(exist_ok=True)

@@ -12,32 +12,52 @@ Paper shapes: static is poor (imbalance) but relatively stable; RC and
 Elasticutor beat static at small ω; as ω grows, RC's latency degrades by
 orders of magnitude ("useless as ω reaches 16") while Elasticutor's
 degradation is marginal.
+
+The 30-cell grid runs through the sweep subsystem (docs/sweeps.md):
+trials fan out over ``REPRO_BENCH_WORKERS`` processes and finished cells
+are cached under ``benchmarks/results/sweeps/fig06/``.
 """
 
 import pytest
 
 from repro import Paradigm
 from repro.analysis import ResultTable
+from repro.sweep import SweepSpec
 
-from _config import CURRENT, emit, run_micro
+from _config import CURRENT, emit, micro_trial, run_bench_sweep
 
 OMEGAS = (0.0, 2.0, 8.0, 16.0, 32.0)
 PARADIGMS = (Paradigm.STATIC, Paradigm.RC, Paradigm.ELASTICUTOR)
 
 
-def sweep():
-    throughput = {}
-    latency = {}
+def build_spec():
+    """The full grid plus an index from (metric, paradigm, ω) to cell."""
+    trials, index = [], {}
     for paradigm in PARADIGMS:
         for omega in OMEGAS:
-            result, _ = run_micro(
-                paradigm, rate=CURRENT.saturation_rate, omega=omega
-            )
-            throughput[(paradigm, omega)] = result
-            result, _ = run_micro(
-                paradigm, rate=CURRENT.latency_rate, omega=omega
-            )
-            latency[(paradigm, omega)] = result
+            for metric, rate in (
+                ("tput", CURRENT.saturation_rate),
+                ("lat", CURRENT.latency_rate),
+            ):
+                trial = micro_trial(paradigm, rate=rate, omega=omega)
+                trials.append(trial)
+                index[(metric, paradigm, omega)] = trial.trial_id
+    return SweepSpec("fig06_workload_dynamics", trials), index
+
+
+def sweep():
+    spec, index = build_spec()
+    records = run_bench_sweep("fig06", spec)
+    throughput = {
+        (p, omega): records[index[("tput", p, omega)]].result
+        for p in PARADIGMS
+        for omega in OMEGAS
+    }
+    latency = {
+        (p, omega): records[index[("lat", p, omega)]].result
+        for p in PARADIGMS
+        for omega in OMEGAS
+    }
     return throughput, latency
 
 
@@ -57,11 +77,11 @@ def test_fig06_workload_dynamics(benchmark, capsys):
     )
     for omega in OMEGAS:
         tput_table.add_row(
-            omega, *(throughput[(p, omega)].throughput_tps for p in PARADIGMS)
+            omega, *(throughput[(p, omega)]["throughput_tps"] for p in PARADIGMS)
         )
         lat_table.add_row(
             omega,
-            *(latency[(p, omega)].latency["mean"] * 1e3 for p in PARADIGMS),
+            *(latency[(p, omega)]["latency"]["mean"] * 1e3 for p in PARADIGMS),
         )
     emit("fig06_workload_dynamics", f"{tput_table}\n\n{lat_table}", capsys)
 
@@ -71,24 +91,24 @@ def test_fig06_workload_dynamics(benchmark, capsys):
     # backpressure — a model artifact documented in EXPERIMENTS.md.)
     for omega in (0.0, 2.0):
         assert (
-            throughput[(Paradigm.ELASTICUTOR, omega)].throughput_tps
-            > 1.1 * throughput[(Paradigm.STATIC, omega)].throughput_tps
+            throughput[(Paradigm.ELASTICUTOR, omega)]["throughput_tps"]
+            > 1.1 * throughput[(Paradigm.STATIC, omega)]["throughput_tps"]
         )
     # RC's latency explodes at ω = 16 ("useless") while Elasticutor's
     # stays an order of magnitude lower; still behind at ω = 32.
-    rc16 = latency[(Paradigm.RC, 16.0)].latency["mean"]
-    ec16 = latency[(Paradigm.ELASTICUTOR, 16.0)].latency["mean"]
+    rc16 = latency[(Paradigm.RC, 16.0)]["latency"]["mean"]
+    ec16 = latency[(Paradigm.ELASTICUTOR, 16.0)]["latency"]["mean"]
     assert rc16 > 5 * ec16, f"RC {rc16:.3f}s vs EC {ec16:.3f}s at omega=16"
-    rc32 = latency[(Paradigm.RC, 32.0)].latency["mean"]
-    ec32 = latency[(Paradigm.ELASTICUTOR, 32.0)].latency["mean"]
+    rc32 = latency[(Paradigm.RC, 32.0)]["latency"]["mean"]
+    ec32 = latency[(Paradigm.ELASTICUTOR, 32.0)]["latency"]["mean"]
     assert rc32 > ec32
     # Elasticutor's own degradation across ω is marginal (sub-second
     # means everywhere, no collapse).
     for omega in OMEGAS:
-        assert latency[(Paradigm.ELASTICUTOR, omega)].latency["mean"] < 0.5
+        assert latency[(Paradigm.ELASTICUTOR, omega)]["latency"]["mean"] < 0.5
     # Static's persistent imbalance costs it an order of magnitude in
     # latency at low ω (at high ω hotspot rotation masks it; see
     # EXPERIMENTS.md).
-    static2 = latency[(Paradigm.STATIC, 2.0)].latency["mean"]
-    ec2 = latency[(Paradigm.ELASTICUTOR, 2.0)].latency["mean"]
+    static2 = latency[(Paradigm.STATIC, 2.0)]["latency"]["mean"]
+    ec2 = latency[(Paradigm.ELASTICUTOR, 2.0)]["latency"]["mean"]
     assert static2 > 5 * ec2

@@ -9,16 +9,19 @@ Paper results, per workload:
 - Small y hurts the data-intensive workload (one executor must run many
   remote tasks) and the highly-dynamic workload (every rebalance pays
   inter-node migration) — "one or two executors per node is robust".
-"""
 
-import dataclasses
+The 42-cell grid (3 workloads × y × z, plus static/RC references) runs
+through the sweep subsystem (docs/sweeps.md) with caching under
+``benchmarks/results/sweeps/fig13/``.
+"""
 
 import pytest
 
 from repro import Paradigm
 from repro.analysis import ResultTable
+from repro.sweep import SweepSpec
 
-from _config import CURRENT, emit, run_micro
+from _config import CURRENT, emit, micro_trial, run_bench_sweep
 
 Y_VALUES = (1, 4, 8, 28)
 Z_VALUES = (1, 8, 64)
@@ -34,39 +37,46 @@ WORKLOADS = {
 }
 
 
-def run_grid():
-    results = {}
+def build_spec():
+    trials, index = [], {}
     for workload_name, params in WORKLOADS.items():
         omega = params["omega"]
         tuple_bytes = params["tuple_bytes"]
         for y in Y_VALUES:
             for z in Z_VALUES:
-                scale = dataclasses.replace(
-                    CURRENT,
-                    executors_per_operator=y,
-                    shards_per_executor=z,
-                    duration=40.0,
-                    warmup=15.0,
-                )
-                result, _ = run_micro(
+                trial = micro_trial(
                     Paradigm.ELASTICUTOR,
                     rate=CURRENT.saturation_rate,
                     omega=omega,
-                    scale=scale,
+                    duration=40.0,
+                    warmup=15.0,
+                    executors_per_operator=y,
+                    shards_per_executor=z,
                     tuple_bytes=tuple_bytes,
                 )
-                results[(workload_name, y, z)] = result.throughput_tps
+                trials.append(trial)
+                index[(workload_name, y, z)] = trial.trial_id
         for paradigm in (Paradigm.STATIC, Paradigm.RC):
-            scale = dataclasses.replace(CURRENT, duration=40.0, warmup=15.0)
-            result, _ = run_micro(
+            trial = micro_trial(
                 paradigm,
                 rate=CURRENT.saturation_rate,
                 omega=omega,
-                scale=scale,
+                duration=40.0,
+                warmup=15.0,
                 tuple_bytes=tuple_bytes,
             )
-            results[(workload_name, paradigm.value, None)] = result.throughput_tps
-    return results
+            trials.append(trial)
+            index[(workload_name, paradigm.value, None)] = trial.trial_id
+    return SweepSpec("fig13_parameter_sweep", trials), index
+
+
+def run_grid():
+    spec, index = build_spec()
+    records = run_bench_sweep("fig13", spec)
+    return {
+        key: records[trial_id].result["throughput_tps"]
+        for key, trial_id in index.items()
+    }
 
 
 @pytest.mark.benchmark(group="fig13")

@@ -4,36 +4,66 @@ Paper: throughput grows nearly linearly with the number of nodes
 (8 -> 16 -> 32 nodes: 66.6k -> 121.3k -> 218.6k tuples/s) while the
 dynamic scheduler's decision time stays at a few milliseconds, growing
 only slightly with scale.  Scheduling time here is the real wall-clock
-cost of our model + Algorithm 1 implementation per round.
+cost of our model + Algorithm 1 implementation per round — it travels
+through the sweep's ``timing`` side channel (it is machine-dependent,
+so it is kept out of the deterministic per-trial results).
+
+The three cluster sizes run through the sweep subsystem (docs/sweeps.md)
+with caching under ``benchmarks/results/sweeps/table3/``.
 """
 
 import pytest
 
-from repro import Paradigm
 from repro.analysis import ResultTable
+from repro.sweep import SweepSpec, TrialConfig
 
-from _sse import run_sse
-from _config import emit
+from _config import SCALE, emit, run_bench_sweep
 
 # (nodes, offered rate): offered scales with the cluster so each size is
 # driven to saturation.
 SIZES = ((4, 25_000.0), (8, 50_000.0), (16, 100_000.0))
 
 
+def sse_trial(nodes: int, rate: float) -> TrialConfig:
+    """One Elasticutor SSE cell, mirroring benchmarks/_sse.py exactly."""
+    cores_per_node = 6
+    source_instances = max(2, nodes // 2)
+    if SCALE == "paper":
+        nodes, cores_per_node, source_instances = 32, 8, 16
+        rate *= 4
+    return TrialConfig(
+        workload="sse",
+        paradigm="elasticutor",
+        rate=rate,
+        omega=0.0,
+        seed=7,
+        duration=45.0,
+        warmup=20.0,
+        num_nodes=nodes,
+        cores_per_node=cores_per_node,
+        source_instances=source_instances,
+        executors_per_operator=nodes,
+        shards_per_executor=32,
+        num_keys=2000,  # stocks
+        skew=0.5,  # popularity skew
+        cost_ms=0.5,  # order cost
+        batch_size=10,
+        workload_args={"burst_magnitude": 4.0},
+        topology_args={"analytics_executors": max(1, nodes // 4)},
+        system_args={"static_weights": {"transactor": 10.0}},
+    )
+
+
 def run_sizes():
-    results = {}
+    trials, index = [], {}
     for nodes, rate in SIZES:
-        result, system = run_sse(
-            Paradigm.ELASTICUTOR,
-            rate=rate,
-            num_nodes=nodes,
-            cores_per_node=6,
-            source_instances=max(2, nodes // 2),
-            duration=45.0,
-            warmup=20.0,
-        )
-        results[nodes] = result
-    return results
+        trial = sse_trial(nodes, rate)
+        trials.append(trial)
+        index[nodes] = trial.trial_id
+    records = run_bench_sweep(
+        "table3", SweepSpec("table3_scalability", trials)
+    )
+    return {nodes: records[trial_id] for nodes, trial_id in index.items()}
 
 
 @pytest.mark.benchmark(group="table3")
@@ -45,20 +75,20 @@ def test_table3_cluster_scalability(benchmark, capsys):
         ["nodes", "throughput (tuples/s)", "scheduling time (ms/round)"],
     )
     for nodes, _ in SIZES:
-        result = results[nodes]
+        record = results[nodes]
         table.add_row(
             nodes,
-            result.throughput_tps,
-            result.scheduler_mean_wall_seconds * 1e3,
+            record.result["throughput_tps"],
+            record.timing["scheduler_mean_wall_seconds"] * 1e3,
         )
     emit("table3_scalability", table.render(), capsys)
 
     # Near-linear throughput growth with cluster size.
-    t4 = results[4].throughput_tps
-    t8 = results[8].throughput_tps
-    t16 = results[16].throughput_tps
+    t4 = results[4].result["throughput_tps"]
+    t8 = results[8].result["throughput_tps"]
+    t16 = results[16].result["throughput_tps"]
     assert t8 > 1.6 * t4
     assert t16 > 1.6 * t8
     # Scheduling cost stays in the milliseconds and grows only mildly.
     for nodes, _ in SIZES:
-        assert results[nodes].scheduler_mean_wall_seconds < 0.05
+        assert results[nodes].timing["scheduler_mean_wall_seconds"] < 0.05

@@ -29,6 +29,7 @@ from repro.logic import (
 )
 from repro.runtime import Paradigm, StreamSystem, SystemConfig, SystemResult
 from repro.scheduler import DynamicScheduler, GreedyAllocator
+from repro.sweep import SweepRunner, SweepSpec, TrialConfig
 from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
 from repro.workloads import MicroBenchmarkWorkload, SSEWorkload, ZipfKeyDistribution
 
@@ -52,10 +53,13 @@ __all__ = [
     "StateAccess",
     "StaticExecutor",
     "StreamSystem",
+    "SweepRunner",
+    "SweepSpec",
     "SyntheticLogic",
     "SystemConfig",
     "SystemResult",
     "Topology",
+    "TrialConfig",
     "TopologyBuilder",
     "TupleBatch",
     "ZipfKeyDistribution",

@@ -7,6 +7,7 @@ Run single experiments or paradigm comparisons without writing code::
     python -m repro scale-out --cores 1 2 4 8 16
     python -m repro faults --fault-spec "node_crash@30:node=5"
     python -m repro run --telemetry-out out/run1 && python -m repro report out/run1
+    python -m repro sweep spec.json --workers 8 --out out/sweep1
 
 ``--json`` switches any run-style command to machine-readable output;
 ``--telemetry-out DIR`` enables the telemetry layer and exports the
@@ -190,6 +191,71 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Run a declarative trial sweep in parallel (docs/sweeps.md)."""
+    import os as _os
+    import pathlib
+
+    from repro.sweep import SweepRunner, SweepSpec
+
+    spec = SweepSpec.from_file(args.spec)
+    if args.dry_run:
+        print(f"sweep {spec.name!r}: {len(spec)} trials")
+        for trial in spec:
+            print(f"  {trial.trial_id}  {json.dumps(trial.to_dict(), sort_keys=True)}")
+        return 0
+    out = pathlib.Path(args.out or f"sweep_results/{spec.name}")
+    cache_dir = pathlib.Path(args.cache) if args.cache else out / "cache"
+    workers = args.workers if args.workers > 0 else (_os.cpu_count() or 1)
+    workers = min(workers, len(spec))
+
+    def progress(done: int, total: int, record, cached: bool) -> None:
+        source = "cached" if cached else "ran"
+        print(
+            f"[sweep {spec.name}] {done}/{total} {record.trial_id} "
+            f"{record.status} ({source})",
+            file=sys.stderr,
+        )
+
+    runner = SweepRunner(
+        spec,
+        workers=max(1, workers),
+        timeout=args.timeout,
+        retries=args.retries,
+        cache_dir=cache_dir,
+        reuse_failures=not args.retry_failed,
+        telemetry_dir=args.telemetry_out,
+        progress=progress,
+    )
+    result = runner.run()
+    results_path, summary_path = result.write(out)
+    if args.json:
+        print(json.dumps(result.summary_dict(), indent=2, sort_keys=True))
+    else:
+        counts = result.status_counts()
+        table = ResultTable(
+            f"sweep {spec.name} — {len(result.records)} trials, "
+            f"{result.workers} workers, {result.wall_seconds:.1f}s",
+            ["ok", "failed", "timeout", "executed", "cached", "retried"],
+        )
+        table.add_row(
+            counts["ok"], counts["failed"], counts["timeout"],
+            result.executed, result.cached, result.retried,
+        )
+        print(table.render())
+        print(f"results : {results_path}")
+        print(f"summary : {summary_path}")
+    if result.failures:
+        for record in result.failures:
+            print(
+                f"!! {record.trial_id} {record.status}: "
+                f"{(record.error or {}).get('message', '')}",
+                file=sys.stderr,
+            )
+        return 1
+    return 0
+
+
 def cmd_scale_out(args: argparse.Namespace) -> int:
     harness = SingleExecutorHarness(
         cost_per_tuple=args.cost_ms / 1000.0,
@@ -285,6 +351,53 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common(faults_parser)
     faults_parser.set_defaults(func=cmd_faults)
+
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="run a declarative trial grid in parallel with resumable "
+             "caching (docs/sweeps.md)",
+    )
+    sweep_parser.add_argument(
+        "spec", help="JSON sweep spec (name/base/grid/trials)"
+    )
+    sweep_parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = one per CPU core, capped at the "
+             "trial count; 1 = serial in-process)",
+    )
+    sweep_parser.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="artifact directory for results.jsonl + summary.json "
+             "(default sweep_results/<spec name>)",
+    )
+    sweep_parser.add_argument(
+        "--cache", default=None, metavar="DIR",
+        help="result cache directory (default <out>/cache); reruns and "
+             "resumes reuse finished cells from here",
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-trial wall-clock budget (specs may override "
+             "per trial via timeout_seconds)",
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts for a crashed trial or dead worker",
+    )
+    sweep_parser.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-execute trials whose cached record is a failure/timeout",
+    )
+    sweep_parser.add_argument(
+        "--telemetry-out", default=None, metavar="DIR",
+        help="export per-trial telemetry (render with 'repro report "
+             "DIR/<trial_id>')",
+    )
+    sweep_parser.add_argument("--json", action="store_true",
+                              help="machine-readable summary on stdout")
+    sweep_parser.add_argument("--dry-run", action="store_true",
+                              help="list trial ids and parameters, run nothing")
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     scale_parser = sub.add_parser(
         "scale-out", help="scale one elastic executor over CPU cores"

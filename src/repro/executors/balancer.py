@@ -150,15 +150,21 @@ class ShardBalancer:
         currently least-loaded container.  ``initial_loads`` seeds the
         containers with their pre-existing workload.
         """
+        ordered = sorted(
+            shard_ids, key=lambda s: (-shard_loads.get(s, 0.0), s)
+        )
+        if not containers:
+            if not ordered:
+                return {}
+            raise ValueError(
+                f"cannot spread {len(ordered)} shards over zero containers"
+            )
         loads = {c: 0.0 for c in containers}
         if initial_loads:
             for container, load in initial_loads.items():
                 if container in loads:
                     loads[container] = load
         placement: typing.Dict[int, typing.Any] = {}
-        ordered = sorted(
-            shard_ids, key=lambda s: (-shard_loads.get(s, 0.0), s)
-        )
         for shard_id in ordered:
             target = min(loads, key=lambda c: loads[c])
             placement[shard_id] = target

@@ -69,7 +69,13 @@ class GreedyAllocator:
             raise ValueError(
                 f"{total_cores} cores cannot host {len(demands)} executors"
             )
-        lam0 = source_rate if source_rate else max(d.arrival_rate for d in demands)
+        # ``if source_rate`` would also treat an explicit 0.0 (an idle
+        # source) as "unset" and silently fall back to the max arrival
+        # rate; only None means "derive it".
+        if source_rate is None:
+            lam0 = max(d.arrival_rate for d in demands)
+        else:
+            lam0 = source_rate
         lam0 = max(lam0, 1e-9)
         cores = {
             d.name: MMKModel.min_stable_cores(d.arrival_rate, d.service_rate)

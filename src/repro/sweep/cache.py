@@ -1,0 +1,101 @@
+"""On-disk, resumable trial-result cache.
+
+Layout: ``<root>/<code_fingerprint>/<trial_id>.json`` — one JSON record
+per trial, written atomically (temp file + ``os.replace``) by the
+orchestrating process only, so concurrent workers never contend on a
+cache file.
+
+The cache key is ``(trial_id, code_fingerprint)``: the trial id hashes
+the experiment's parameters, the fingerprint hashes every ``repro``
+source file.  Touch any source and previously cached cells miss — a
+sweep never serves results computed by different code.  Old fingerprint
+directories are inert history; delete them freely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+import typing
+
+_FINGERPRINT_CACHE: typing.Dict[str, str] = {}
+
+
+def code_fingerprint() -> str:
+    """Content hash of every ``*.py`` file in the ``repro`` package."""
+    import repro
+
+    root = str(pathlib.Path(repro.__file__).parent)
+    cached = _FINGERPRINT_CACHE.get(root)
+    if cached is not None:
+        return cached
+    digest = hashlib.sha256()
+    base = pathlib.Path(root)
+    for path in sorted(base.rglob("*.py")):
+        digest.update(path.relative_to(base).as_posix().encode("utf-8"))
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    fingerprint = digest.hexdigest()[:16]
+    _FINGERPRINT_CACHE[root] = fingerprint
+    return fingerprint
+
+
+class ResultCache:
+    """Trial-result store keyed by ``(trial_id, code_fingerprint)``."""
+
+    def __init__(
+        self,
+        root: typing.Union[str, pathlib.Path],
+        fingerprint: typing.Optional[str] = None,
+    ) -> None:
+        self.root = pathlib.Path(root)
+        self.fingerprint = fingerprint or code_fingerprint()
+
+    @property
+    def directory(self) -> pathlib.Path:
+        return self.root / self.fingerprint
+
+    def path_for(self, trial_id: str) -> pathlib.Path:
+        return self.directory / f"{trial_id}.json"
+
+    def get(self, trial_id: str) -> typing.Optional[typing.Dict[str, typing.Any]]:
+        """The cached record, or None on a miss or a corrupt file."""
+        path = self.path_for(trial_id)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict) or record.get("trial_id") != trial_id:
+            return None
+        return record
+
+    def put(self, record: typing.Dict[str, typing.Any]) -> pathlib.Path:
+        """Atomically persist one trial record."""
+        trial_id = record["trial_id"]
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(trial_id)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=f".{trial_id}.", suffix=".tmp", dir=str(self.directory)
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(record, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob("*.json"))
+        except OSError:
+            return 0

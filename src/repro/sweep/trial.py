@@ -1,0 +1,102 @@
+"""Execute one sweep trial: a params dict in, a JSON-safe result out.
+
+``execute_trial`` is the default trial function of
+:class:`repro.sweep.SweepRunner`.  It is a *pure* function of its
+parameters — it builds a fresh workload, topology and
+:class:`StreamSystem`, runs for the configured virtual duration, and
+returns ``SystemResult.to_dict()``.  Being module-level and
+dict-in/dict-out makes it picklable for process-pool workers and keeps
+results byte-identical between serial and parallel execution.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.runtime import Paradigm, StreamSystem, SystemConfig
+from repro.sweep.spec import TrialConfig
+from repro.workloads import MicroBenchmarkWorkload, SSEWorkload
+
+#: Runner-injected key carrying the per-trial telemetry export directory.
+#: Not part of the trial's identity (it is injected after hashing).
+TELEMETRY_KEY = "telemetry_out"
+
+#: Reserved key in a trial function's return dict: the runner moves its
+#: value to ``TrialRecord.timing``, keeping wall-clock measurements (which
+#: differ run to run and machine to machine) out of the deterministic
+#: ``results.jsonl`` rows.
+TIMING_KEY = "_timing"
+
+
+def _build_system(
+    config: TrialConfig, telemetry: bool
+) -> StreamSystem:
+    system_args = dict(config.system_args)
+    fault_spec = system_args.pop("fault_spec", None)
+    if isinstance(fault_spec, str):
+        from repro.faults import FaultSpec
+
+        fault_spec = FaultSpec.load(fault_spec)
+    if config.workload == "micro":
+        workload: typing.Any = MicroBenchmarkWorkload(
+            rate=config.rate,
+            num_keys=config.num_keys,
+            skew=config.skew,
+            cost_per_tuple=config.cost_ms / 1000.0,
+            tuple_bytes=config.tuple_bytes,
+            omega=config.omega,
+            batch_size=config.batch_size,
+            seed=config.seed,
+            **config.workload_args,
+        )
+    else:  # "sse" — omega and tuple_bytes do not apply
+        workload = SSEWorkload(
+            rate=config.rate,
+            num_stocks=config.num_keys,
+            popularity_skew=config.skew,
+            order_cost=config.cost_ms / 1000.0,
+            batch_size=config.batch_size,
+            seed=config.seed,
+            **config.workload_args,
+        )
+    topology = workload.build_topology(
+        executors_per_operator=config.executors_per_operator,
+        shards_per_executor=config.shards_per_executor,
+        **config.topology_args,
+    )
+    system_config = SystemConfig(
+        paradigm=Paradigm(config.paradigm),
+        num_nodes=config.num_nodes,
+        cores_per_node=config.cores_per_node,
+        source_instances=config.source_instances,
+        fault_spec=fault_spec,
+        telemetry=telemetry,
+        **system_args,
+    )
+    return StreamSystem(topology, workload, system_config)
+
+
+def execute_trial(params: typing.Mapping[str, typing.Any]) -> typing.Dict[str, typing.Any]:
+    """Run one trial described by ``TrialConfig.to_dict()`` output."""
+    params = dict(params)
+    telemetry_out = params.pop(TELEMETRY_KEY, None)
+    config = TrialConfig.from_dict(params)
+    system = _build_system(config, telemetry=bool(telemetry_out))
+    result = system.run(duration=config.duration, warmup=config.warmup)
+    payload = result.to_dict()
+    if telemetry_out:
+        from repro.telemetry.exporters import export_run
+
+        export_run(
+            telemetry_out,
+            system.telemetry,
+            summary=payload,
+            meta={"trial_id": config.trial_id, "params": config.to_dict()},
+        )
+    # Everything in ``SystemResult.to_dict`` is a deterministic function
+    # of the trial parameters except the scheduler's real wall-clock cost
+    # per round — route that through the timing side channel.
+    payload[TIMING_KEY] = {
+        "scheduler_mean_wall_seconds": payload.pop("scheduler_mean_wall_seconds")
+    }
+    return payload

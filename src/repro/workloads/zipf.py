@@ -38,11 +38,21 @@ class ZipfKeyDistribution:
         self._cumulative[-1] = 1.0  # guard against float drift
         self._key_of_rank = list(range(num_keys))
         self._rng.shuffle(self._key_of_rank)
+        self._rank_of_key = self._invert(self._key_of_rank)
         self.shuffle_count = 0
 
+    @staticmethod
+    def _invert(key_of_rank: typing.List[int]) -> typing.List[int]:
+        rank_of_key = [0] * len(key_of_rank)
+        for rank, key in enumerate(key_of_rank):
+            rank_of_key[key] = rank
+        return rank_of_key
+
     def probability(self, key: int) -> float:
-        """Current frequency of ``key``."""
-        rank = self._key_of_rank.index(key)
+        """Current frequency of ``key`` (O(1))."""
+        if not 0 <= key < self.num_keys:
+            raise ValueError(f"key {key} outside 0..{self.num_keys - 1}")
+        rank = self._rank_of_key[key]
         low = self._cumulative[rank - 1] if rank > 0 else 0.0
         return self._cumulative[rank] - low
 
@@ -63,6 +73,7 @@ class ZipfKeyDistribution:
     def shuffle(self) -> None:
         """Apply a random permutation to the key frequencies."""
         self._rng.shuffle(self._key_of_rank)
+        self._rank_of_key = self._invert(self._key_of_rank)
         self.shuffle_count += 1
 
 

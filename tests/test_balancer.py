@@ -161,3 +161,12 @@ class TestSpreadPlan:
         others = [placement[i] for i in (1, 2, 3)]
         # The three light shards balance against the heavy one.
         assert others.count(heavy_container) == 0
+
+    def test_nothing_to_spread_nowhere_is_empty_plan(self):
+        # Regression: ``min()`` over zero containers raised a bare
+        # ValueError even when there was nothing to place.
+        assert ShardBalancer().spread_plan({}, [], []) == {}
+
+    def test_zero_containers_with_shards_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="2 shards over zero containers"):
+            ShardBalancer().spread_plan({0: 1.0, 1: 2.0}, [0, 1], [])

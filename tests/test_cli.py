@@ -87,3 +87,80 @@ class TestExecution:
         out = capsys.readouterr().out
         for name in ("static", "resource-centric", "elasticutor", "naive-ec"):
             assert name in out
+
+
+class TestSweepCommand:
+    @staticmethod
+    def spec_file(tmp_path):
+        import json
+
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({
+            "name": "cli-demo",
+            "base": {
+                "workload": "micro", "rate": 800, "num_keys": 100,
+                "duration": 3, "warmup": 1, "num_nodes": 4,
+                "cores_per_node": 2, "source_instances": 2,
+                "executors_per_operator": 2, "shards_per_executor": 4,
+                "batch_size": 5,
+            },
+            "grid": {"paradigm": ["static", "elasticutor"]},
+        }))
+        return path
+
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "spec.json"])
+        assert args.spec == "spec.json"
+        assert args.workers == 0  # auto
+        assert args.retries == 1
+        assert args.timeout is None
+        assert not args.retry_failed
+        assert not args.dry_run
+
+    def test_sweep_dry_run(self, tmp_path, capsys):
+        code = main(["sweep", str(self.spec_file(tmp_path)), "--dry-run"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 trials" in out
+        assert '"paradigm": "static"' in out
+
+    def test_sweep_runs_and_resumes_from_cache(self, tmp_path, capsys):
+        import json
+
+        spec = self.spec_file(tmp_path)
+        out_dir = tmp_path / "out"
+        argv = ["sweep", str(spec), "--workers", "1",
+                "--out", str(out_dir), "--json"]
+
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["statuses"] == {"ok": 2, "failed": 0, "timeout": 0}
+        assert (first["executed"], first["cached"]) == (2, 0)
+        results = (out_dir / "results.jsonl").read_bytes()
+        assert len(results.splitlines()) == 2
+
+        # Second invocation: pure cache replay, identical artifact.
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert (second["executed"], second["cached"]) == (0, 2)
+        assert (out_dir / "results.jsonl").read_bytes() == results
+
+    def test_sweep_reports_failures_with_nonzero_exit(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "name": "bad",
+            "base": {
+                "workload": "micro", "rate": 800, "num_keys": 100,
+                "duration": 3, "warmup": 1, "num_nodes": 4,
+                "cores_per_node": 2, "source_instances": 2,
+                "executors_per_operator": 50, "shards_per_executor": 4,
+                "batch_size": 5,
+            },
+        }))
+        code = main(["sweep", str(path), "--workers", "1",
+                     "--out", str(tmp_path / "out"), "--json"])
+        assert code == 1
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["statuses"]["failed"] == 1

@@ -172,6 +172,34 @@ class TestGreedyAllocator:
                 total_cores=1,
             )
 
+    def test_explicit_zero_source_rate_is_not_unset(self):
+        # Regression: ``if source_rate`` treated an explicit λ0 = 0 (an
+        # idle source) as "derive from the demands", silently changing
+        # the modelled network latency.  Only None means "derive".
+        allocator = GreedyAllocator(latency_target=0.01)
+        demands = [
+            ExecutorDemand("a", 500.0, 1000.0),
+            ExecutorDemand("b", 100.0, 1000.0),
+        ]
+        derived = allocator.allocate(demands, total_cores=6, source_rate=None)
+        explicit = allocator.allocate(demands, total_cores=6, source_rate=0.0)
+        # λ0 = 0 scales the latency estimate to ~infinity: unreachable
+        # target, unlike the healthy derived-λ0 allocation.
+        assert derived.feasible
+        assert not explicit.feasible
+        assert explicit.expected_latency > derived.expected_latency
+
+    def test_near_zero_source_rate_clamps(self):
+        # 0.0 and an epsilon rate clamp to the same floor rather than
+        # dividing by zero.
+        allocator = GreedyAllocator(latency_target=0.01)
+        demands = [ExecutorDemand("a", 500.0, 1000.0)]
+        zero = allocator.allocate(demands, total_cores=4, source_rate=0.0)
+        tiny = allocator.allocate(demands, total_cores=4, source_rate=1e-12)
+        assert zero.cores == tiny.cores
+        assert zero.expected_latency == tiny.expected_latency
+        assert math.isfinite(zero.expected_latency)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             GreedyAllocator(latency_target=0.0)

@@ -58,6 +58,33 @@ class TestZipfKeyDistribution:
         with pytest.raises(ValueError):
             ZipfKeyDistribution(10, skew=-1)
 
+    def test_probabilities_invariant_across_shuffles(self):
+        # Regression: probability() went through list.index (O(n) per
+        # lookup); it now reads an inverse rank map maintained by
+        # shuffle().  A shuffle permutes which key has which frequency
+        # but must leave the multiset of probabilities untouched.
+        dist = ZipfKeyDistribution(64, skew=0.7, seed=11)
+        before = sorted(dist.probability(k) for k in range(64))
+        for _ in range(3):
+            dist.shuffle()
+            after = sorted(dist.probability(k) for k in range(64))
+            assert after == before
+        assert sum(before) == pytest.approx(1.0)
+
+    def test_probability_consistent_with_rank_order(self):
+        dist = ZipfKeyDistribution(32, skew=0.9, seed=4)
+        for _ in range(2):
+            dist.shuffle()
+            probabilities = [dist.probability(k) for k in dist.hottest_keys(32)]
+            assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_probability_rejects_out_of_range_keys(self):
+        dist = ZipfKeyDistribution(10, skew=0.5, seed=0)
+        with pytest.raises(ValueError):
+            dist.probability(-1)
+        with pytest.raises(ValueError):
+            dist.probability(10)
+
 
 class TestKeyShuffler:
     def test_applies_omega_shuffles_per_minute(self):
