@@ -22,7 +22,7 @@ import typing
 DEFAULT_THETA = 1.2
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class BalanceMove:
     """One shard reassignment suggested by the balancer."""
 
@@ -33,6 +33,8 @@ class BalanceMove:
 
 class ShardBalancer:
     """Pure planning: no simulation state, fully deterministic."""
+
+    __slots__ = ("theta", "max_moves")
 
     def __init__(self, theta: float = DEFAULT_THETA, max_moves: int = 10_000) -> None:
         if theta < 1.0:

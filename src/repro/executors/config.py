@@ -5,7 +5,7 @@ from __future__ import annotations
 import dataclasses
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ExecutorConfig:
     """Queueing, windowing, and protocol-cost parameters.
 

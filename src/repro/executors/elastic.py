@@ -24,6 +24,8 @@ from repro.executors.routing import RoutingTable
 from repro.executors.stats import ExecutorMetrics, ReassignmentRecord, ReassignmentStats
 from repro.executors.task import STOP, Task
 from repro.logic.base import OperatorLogic, StateAccess
+from repro.protocol import REHOME, SHARD_REASSIGN
+from repro.sanitize import ShardSanitizer
 from repro.sim import Environment, Event, Resource, Store
 from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
 from repro.topology.batch import LabelTuple, TupleBatch
@@ -33,6 +35,17 @@ from repro.topology.operator import OperatorSpec
 
 class ElasticExecutor:
     """One elastic executor of an operator."""
+
+    __slots__ = (
+        "env", "cluster", "spec", "index", "name", "local_node", "logic",
+        "config", "reassignment_stats", "migration_clock", "num_shards",
+        "_shard_lookup", "external_state", "input_queue", "_emitter_queue",
+        "routing", "metrics", "tasks", "_next_task_id", "stores",
+        "_receiver_sender", "_emitter_sender", "_remote_senders", "_control",
+        "_balancer", "_shard_cost_accum", "_shard_load", "_downstream_groups",
+        "_sink_recorder", "_started", "_enable_balancer", "_daemons", "alive",
+        "stall_factor", "operator_in_flight", "_san",
+    )
 
     def __init__(
         self,
@@ -109,6 +122,9 @@ class ElasticExecutor:
         #: Set by the hybrid controller: operator-level in-flight counter
         #: decremented as this executor completes batches.
         self.operator_in_flight: typing.Optional[typing.Any] = None
+        #: Shard-ownership race detector; None unless REPRO_SANITIZE is set
+        #: (every hook site below is a single ``is not None`` test).
+        self._san = ShardSanitizer.from_env(self.name, self.num_shards, env)
 
     # -- wiring -----------------------------------------------------------
 
@@ -171,8 +187,12 @@ class ElasticExecutor:
             self._create_task(self.local_node)
         # Initial placement: shards spread round-robin over initial tasks.
         tasks = list(self.tasks.values())
+        san = self._san
         for shard_id in range(self.num_shards):
-            self.routing.assign(shard_id, tasks[shard_id % len(tasks)])
+            task = tasks[shard_id % len(tasks)]
+            self.routing.assign(shard_id, task)
+            if san is not None:
+                san.on_assign(shard_id, task.task_id)
         self._daemons = [
             self.env.process(self._receiver_loop()),
             self.env.process(self._emitter_loop()),
@@ -201,13 +221,17 @@ class ElasticExecutor:
         sender = self._receiver_sender
         window_request = sender._window.request
         transfer = sender.fabric.transfer
+        san = self._san
         while True:
             batch = yield get()
             if batch.trace is not None:
                 batch.trace["received"] = env._now
             count = batch.count
             on_arrival(env._now, count, count * batch.size_bytes)
-            entry = entries[lookup[batch.key]]
+            shard_id = lookup[batch.key]
+            entry = entries[shard_id]
+            if san is not None:
+                san.on_route(batch, shard_id)
             if entry.paused:
                 entry.buffer.append(batch)
                 continue
@@ -263,6 +287,8 @@ class ElasticExecutor:
             yield wake
         shard_id = self._shard_lookup[batch.key]
         self._shard_cost_accum[shard_id] += cost
+        if self._san is not None:
+            self._san.on_access(shard_id, task.task_id, batch)
         emissions = ()
         if logic is not None:
             if self.external_state is not None:
@@ -498,7 +524,9 @@ class ElasticExecutor:
             # may need rebuilding first), so balancing leaves it alone.
             return
         bus = self.env.telemetry
+        san = self._san
         span = bus.begin_span("reassign", source=self.name, shard=shard_id)
+        proto = SHARD_REASSIGN.tracker()
         try:
             started = self.env.now
             if self.config.reassignment_overhead > 0:
@@ -506,12 +534,16 @@ class ElasticExecutor:
             # 1. Pause routing for the shard; new arrivals buffer in the entry.
             entry.paused = True
             span.mark("pause")
+            proto.advance("pause")
+            if san is not None:
+                san.on_pause(shard_id, src_task.task_id)
             # 2. Drain: a labeling tuple chases all pending tuples of the shard.
             label_event = self.env.event()
             yield from self._forward(LabelTuple(shard_id, label_event), src_task)
             yield label_event
             sync_done = self.env.now
             span.mark("drain")
+            proto.advance("drain")
             # Re-validate after the drain: a crash may have intervened (dead
             # queues succeed their labels via the dead-letter reaper).
             if entry.task is not src_task:
@@ -526,6 +558,8 @@ class ElasticExecutor:
                     return
                 dst_task = min(live, key=lambda t: (self._task_load(t), t.task_id))
                 if dst_task is src_task:
+                    if san is not None:
+                        san.on_resume(shard_id)
                     while entry.buffer:
                         yield from self._forward(entry.buffer.popleft(), src_task)
                     entry.paused = False
@@ -555,13 +589,17 @@ class ElasticExecutor:
                     yield self.env.timeout(copy_delay)
             migration_done = self.env.now
             span.mark("migration")
+            proto.advance("migration")
             # 4. Update the routing table, flush buffered tuples, resume.
             self.routing.assign(shard_id, dst_task)
+            if san is not None:
+                san.on_assign(shard_id, dst_task.task_id)
             while entry.buffer:
                 item = entry.buffer.popleft()
                 yield from self._forward(item, dst_task)
             entry.paused = False
             span.mark("routing_update")
+            proto.advance("routing_update")
             self.reassignment_stats.record(
                 ReassignmentRecord(
                     time=started,
@@ -580,10 +618,12 @@ class ElasticExecutor:
                 migration_seconds=migration_done - sync_done,
                 migrated_bytes=migrated_bytes, started=started,
             )
+            proto.advance("done")
         finally:
             # Early returns and crash kills land here with the span still
             # open: close it as aborted so exported logs stay well-formed.
             span.finish(status="aborted")
+            proto.close("aborted")
 
     # -- fault recovery (fail-stop crashes, see repro.faults) --------------
 
@@ -595,9 +635,15 @@ class ElasticExecutor:
         blocked on a label sitting in this very queue — the reaper
         releases it.
         """
+        san = self._san
         for item in task.kill():
             reaper.account(item)
+            if san is not None:
+                san.forget(item)
         orphans = self.routing.orphan_task(task)
+        if san is not None:
+            for shard_id in orphans:
+                san.on_orphan(shard_id)
         self.tasks.pop(task.task_id, None)
         reaper.watch(task.queue)  # late network deliveries die with the core
         return orphans
@@ -635,13 +681,21 @@ class ElasticExecutor:
                 reaper.account(item)
             reaper.watch(task.queue)
         self.tasks.clear()
-        for entry in self.routing._entries:
+        san = self._san
+        for shard_id, entry in enumerate(self.routing._entries):
             while entry.buffer:
-                reaper.account(entry.buffer.popleft())
+                item = entry.buffer.popleft()
+                reaper.account(item)
+                if san is not None:
+                    san.forget(item)
             entry.task = None
             entry.paused = True
+            if san is not None:
+                san.on_orphan(shard_id)
         for item in self.input_queue.drain():
             reaper.account(item)
+            if san is not None:
+                san.forget(item)
         reaper.watch(self.input_queue)
         for item in self._emitter_queue.drain():
             reaper.account(item)
@@ -687,6 +741,8 @@ class ElasticExecutor:
         self.routing = RoutingTable(self.num_shards)
         self._shard_cost_accum = [0.0] * self.num_shards
         self._shard_load = [0.0] * self.num_shards
+        if self._san is not None:
+            self._san.reset()
         if spawn_delay > 0:
             yield self.env.timeout(spawn_delay)
         tasks = []
@@ -708,6 +764,8 @@ class ElasticExecutor:
                     per_store.get(task.node_id, 0) + shard.nominal_bytes
                 )
             self.routing.assign(shard_id, task)
+            if self._san is not None:
+                self._san.on_assign(shard_id, task.task_id)
         rebuilt_bytes = sum(per_store.values())
         if rebuilt_bytes and rebuild_rate > 0:
             # One rebuild stream per process, all running concurrently.
@@ -742,10 +800,12 @@ class ElasticExecutor:
         intra-process sharing, serialization + transfer otherwise.
         """
         bus = self.env.telemetry
+        san = self._san
         span = bus.begin_span(
             "rehome", source=self.name, failed_node=failed_node,
             lose_state=lose_state,
         )
+        proto = REHOME.tracker()
         yield self._control.request()
         try:
             if lose_state and failed_node != self.local_node:
@@ -764,6 +824,7 @@ class ElasticExecutor:
                 survivors,
                 initial_loads={t: self._task_load(t) for t in survivors},
             )
+            proto.advance("placed")
             for shard_id, dst_task in sorted(placement.items()):
                 if dst_task.stopped or dst_task.task_id not in self.tasks:
                     live = [t for t in self.tasks.values() if not t.stopped]
@@ -775,6 +836,8 @@ class ElasticExecutor:
                     shard_id, dst_task, stats, rebuild_rate, lose_state
                 )
                 self.routing.assign(shard_id, dst_task)
+                if san is not None:
+                    san.on_assign(shard_id, dst_task.task_id)
                 flushed = 0
                 while entry.buffer:
                     item = entry.buffer.popleft()
@@ -784,9 +847,12 @@ class ElasticExecutor:
                 entry.paused = False
                 if flushed:
                     stats.tuples_rerouted.add(flushed)
+            proto.advance("restored")
             span.finish(status="ok", orphans=len(orphans))
+            proto.advance("done")
         finally:
             span.finish(status="aborted")
+            proto.close("aborted")
             self._control.release()
 
     def _restore_shard_state(

@@ -16,6 +16,8 @@ from repro.sim import Environment, Event
 class OperatorGate:
     """A reusable open/closed barrier over virtual time."""
 
+    __slots__ = ("env", "_open_event")
+
     def __init__(self, env: Environment) -> None:
         self.env = env
         self._open_event: typing.Optional[Event] = None  # None = open

@@ -41,6 +41,8 @@ class ElasticGroup:
     nothing on the fast path.
     """
 
+    __slots__ = ("name", "executors", "router", "gate", "in_flight", "_lookup")
+
     def __init__(
         self,
         name: str,
@@ -127,6 +129,8 @@ StaticGroup = ElasticGroup
 class RCGroup:
     """Dynamic operator-level shard routing for the RC baseline."""
 
+    __slots__ = ("name", "manager")
+
     def __init__(self, name: str, manager: "RCOperatorManager") -> None:
         self.name = name
         self.manager = manager
@@ -186,6 +190,11 @@ class SourceInstance:
     the measured end-to-end latency exactly as an external arrival process
     would.
     """
+
+    __slots__ = (
+        "env", "name", "index", "node_id", "sender", "_groups",
+        "emitted_tuples", "trace_every", "_emitted_batches",
+    )
 
     def __init__(
         self,

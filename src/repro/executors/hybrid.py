@@ -35,6 +35,13 @@ from repro.topology.keys import shard_of_key
 class HybridController:
     """Coarse-grained operator-level split/merge for one elastic operator."""
 
+    __slots__ = (
+        "env", "cluster", "group", "router", "executor_factory", "interval",
+        "split_threshold_cores", "merge_threshold_cores", "manager_node",
+        "control_bytes", "scheduler", "_upstream_instances", "_next_index",
+        "_merge_streak", "splits", "merges",
+    )
+
     def __init__(
         self,
         env: Environment,

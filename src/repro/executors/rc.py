@@ -27,6 +27,7 @@ from repro.executors.gate import OperatorGate
 from repro.executors.stats import ExecutorMetrics, ReassignmentRecord, ReassignmentStats
 from repro.executors.task import STOP, Task
 from repro.logic.base import OperatorLogic, StateAccess
+from repro.protocol import RC_RECOVERY, RC_SYNC
 from repro.sim import Environment, Event, Resource, Store
 from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
 from repro.topology.batch import TupleBatch
@@ -40,6 +41,8 @@ class InFlightCounter:
     The repartitioning protocol closes the gate and then waits for this
     counter to hit zero — the "wait for all in-flight tuples" drain step.
     """
+
+    __slots__ = ("env", "_count", "_zero_waiters")
 
     def __init__(self, env: Environment) -> None:
         self.env = env
@@ -87,6 +90,13 @@ class InFlightCounter:
 
 class RCExecutor:
     """A single-core executor under operator-level key repartitioning."""
+
+    __slots__ = (
+        "env", "cluster", "spec", "index", "name", "node_id", "manager",
+        "logic", "config", "metrics", "task", "input_queue",
+        "_emitter_queue", "_emitter_sender", "_downstream_groups",
+        "_sink_recorder", "alive", "stall_factor", "_emitter_proc",
+    )
 
     def __init__(
         self,
@@ -224,6 +234,17 @@ class RCOperatorManager:
     #: Extra smoothing for RC shard loads (slower, steadier than the
     #: intra-executor balancer, whose moves are nearly free).
     LOAD_SMOOTHING = 0.3
+
+    __slots__ = (
+        "env", "cluster", "spec", "config", "reassignment_stats",
+        "migration_clock", "manage_interval", "manager_node",
+        "_logic_factory", "total_shards", "shard_lookup", "gate",
+        "in_flight", "executors", "_assignment", "_stores",
+        "_upstream_instances", "_balancer", "_shard_cost_accum",
+        "_shard_load", "_next_index", "_downstream_groups",
+        "_sink_recorder", "target_executors_fn", "_placement_cursor",
+        "repartition_count", "_protocol_lock", "_recovering",
+    )
 
     def __init__(
         self,
@@ -502,15 +523,18 @@ class RCOperatorManager:
             "rc_sync", source=self.spec.name,
             moves=len(moves), removed=len(removed),
         )
+        proto = RC_SYNC.tracker()
         try:
             # (a) Pause all upstream executors.
             self.gate.close()
             yield from self._control_round()
             span.mark("pause")
+            proto.advance("pause")
             # (b) Wait for all in-flight tuples to be processed.
             yield self.in_flight.wait_zero()
             drain_done = self.env.now
             span.mark("drain")
+            proto.advance("drain")
             # (c) Migrate state between node-level stores.
             migrations: typing.List[typing.Tuple[int, bool, float, int]] = []
             for shard_id, src, dst in moves:
@@ -544,11 +568,13 @@ class RCOperatorManager:
                 )
                 self._assignment[shard_id] = dst
             span.mark("migration")
+            proto.advance("migration")
             # (d) Update the routing tables of all upstream executors.
             yield from self._control_round()
             update_done = self.env.now
             self.gate.open()
             span.mark("routing_update")
+            proto.advance("routing_update")
             # Retire removed executors (their queues are drained by now).
             for executor in removed:
                 executor.input_queue.put_nowait(STOP)
@@ -581,8 +607,10 @@ class RCOperatorManager:
                 )
             span.finish(status="ok", migrations=len(migrations),
                         sync_seconds=sync_seconds)
+            proto.advance("done")
         finally:
             span.finish(status="aborted")
+            proto.close("aborted")
 
     # -- crash recovery (the slow, global path — see repro.faults) ----------
 
@@ -611,6 +639,7 @@ class RCOperatorManager:
             "rc_recovery", source=self.spec.name, dead=len(dead),
             state_lost=state_lost,
         )
+        proto = RC_RECOVERY.tracker()
         yield self._protocol_lock.request()
         self._recovering = True
         try:
@@ -631,10 +660,12 @@ class RCOperatorManager:
             self.gate.close()
             yield from self._control_round()
             span.mark("pause")
+            proto.advance("pause")
             # (b) Drain: losses surface via the dead-letter reapers, which
             # forget them from the in-flight ledger.
             yield self.in_flight.wait_zero()
             span.mark("drain")
+            proto.advance("drain")
             # (c) Re-home every orphaned shard onto the survivors.
             dead_ids = {id(e) for e in dead}
             orphans = sorted(
@@ -649,6 +680,8 @@ class RCOperatorManager:
                     stats.record_event(
                         self.env.now, "rc_recovery_stalled", self.spec.name
                     )
+                    span.finish(status="stalled")
+                    proto.close("stalled")
                     return
                 self._create_executor(node)
             shard_loads = {i: self._shard_load[i] for i in range(self.total_shards)}
@@ -696,12 +729,16 @@ class RCOperatorManager:
                         stats.bytes_remigrated.add(nbytes)
                 self._assignment[shard_id] = dst
             span.mark("migration")
+            proto.advance("migration")
             # (d) Push updated routing tables to every upstream, resume.
             yield from self._control_round()
             span.mark("routing_update")
+            proto.advance("routing_update")
             span.finish(status="ok", orphans=len(orphans))
+            proto.advance("done")
         finally:
             span.finish(status="aborted")
+            proto.close("aborted")
             self.gate.open()
             self._recovering = False
             self._protocol_lock.release()

@@ -85,6 +85,8 @@ class ShardEntry:
 class RoutingTable:
     """shard -> task mapping with per-task shard sets."""
 
+    __slots__ = ("num_shards", "_buffered", "_entries", "_shards_by_task")
+
     def __init__(self, num_shards: int) -> None:
         if num_shards < 1:
             raise ValueError(f"num_shards must be >= 1, got {num_shards}")

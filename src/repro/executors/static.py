@@ -17,6 +17,8 @@ from repro.executors.elastic import ElasticExecutor
 class StaticExecutor(ElasticExecutor):
     """One key subspace, one core, forever."""
 
+    __slots__ = ()
+
     def __init__(self, *args: typing.Any, **kwargs: typing.Any) -> None:
         super().__init__(*args, **kwargs)
         self._enable_balancer = False

@@ -58,7 +58,7 @@ class ExecutorMetrics:
         return self._in_rates.rate_b(now) + self.output_bytes.rate(now)
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class ReassignmentRecord:
     """Timing breakdown of one shard reassignment (Figures 8 and 9)."""
 
@@ -76,6 +76,8 @@ class ReassignmentRecord:
 
 class ReassignmentStats:
     """Collects reassignment timing records across the system."""
+
+    __slots__ = ("records",)
 
     def __init__(self) -> None:
         self.records: typing.List[ReassignmentRecord] = []

@@ -28,6 +28,8 @@ def slot_of_key(key: int, num_slots: int) -> int:
 class SubspaceRouter:
     """The operator-level slot table."""
 
+    __slots__ = ("num_slots", "_table")
+
     def __init__(self, num_slots: int, executors: typing.Sequence) -> None:
         if num_slots < 1:
             raise ValueError(f"num_slots must be >= 1, got {num_slots}")

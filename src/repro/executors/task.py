@@ -17,6 +17,8 @@ from repro.topology.batch import LabelTuple, TupleBatch
 class StopSignal:
     """Queue sentinel that makes a task exit after in-queue work drains."""
 
+    __slots__ = ()
+
     _instance: typing.Optional["StopSignal"] = None
 
     def __new__(cls) -> "StopSignal":

@@ -27,6 +27,7 @@ import typing
 
 from repro.cluster.cores import CoreAllocationError
 from repro.faults.spec import FaultEvent, FaultKind
+from repro.protocol import FAULT_RECOVERY
 from repro.topology.batch import LabelTuple, TupleBatch
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -171,92 +172,102 @@ class FaultCoordinator:
         bus = self.env.telemetry
         span = bus.begin_span("recovery", source="faults",
                               fault="node_crash", detail=f"node={node}")
+        proto = FAULT_RECOVERY.tracker()
         self._event("node_crash", f"node={node}")
 
-        # Destruction is immediate: processes on the node die now, and
-        # their queued/in-flight work dead-letters with exact counters.
-        rehomes: typing.List[typing.Tuple[typing.Any, typing.List[int]]] = []
-        restarts: typing.List[typing.Any] = []
-        rc_dead: typing.Dict[str, typing.List[typing.Any]] = {}
-        for op_name in sorted(system.executors_by_operator):
-            executors = system.executors_by_operator[op_name]
-            manager = system.rc_managers.get(op_name)
-            if manager is not None:
-                for executor in list(executors):
-                    if executor.alive and executor.node_id == node:
-                        executor.crash(self._reaper_for(executor))
-                        rc_dead.setdefault(op_name, []).append(executor)
-                continue
-            for executor in executors:
-                if not getattr(executor, "alive", True):
+        try:
+            # Destruction is immediate: processes on the node die now, and
+            # their queued/in-flight work dead-letters with exact counters.
+            rehomes: typing.List[typing.Tuple[typing.Any, typing.List[int]]] = []
+            restarts: typing.List[typing.Any] = []
+            rc_dead: typing.Dict[str, typing.List[typing.Any]] = {}
+            for op_name in sorted(system.executors_by_operator):
+                executors = system.executors_by_operator[op_name]
+                manager = system.rc_managers.get(op_name)
+                if manager is not None:
+                    for executor in list(executors):
+                        if executor.alive and executor.node_id == node:
+                            executor.crash(self._reaper_for(executor))
+                            rc_dead.setdefault(op_name, []).append(executor)
                     continue
-                reaper = self._reaper_for(executor)
-                prev_cores = max(1, len(executor.tasks))
-                if executor.local_node == node:
-                    executor.crash_main(reaper)
-                    restarts.append((executor, prev_cores))
-                    continue
-                victims = [
-                    t for t in executor.tasks.values() if t.node_id == node
-                ]
-                if not victims:
-                    continue
-                orphans = executor.crash_tasks(victims, reaper)
-                if executor.tasks:
-                    rehomes.append((executor, orphans))
-                else:
-                    # Every worker lived on the dead node: nothing left to
-                    # re-home onto, so the executor restarts from scratch.
-                    executor.crash_main(reaper)
-                    restarts.append((executor, prev_cores))
-        span.mark("destroyed")
+                for executor in executors:
+                    if not getattr(executor, "alive", True):
+                        continue
+                    reaper = self._reaper_for(executor)
+                    prev_cores = max(1, len(executor.tasks))
+                    if executor.local_node == node:
+                        executor.crash_main(reaper)
+                        restarts.append((executor, prev_cores))
+                        continue
+                    victims = [
+                        t for t in executor.tasks.values() if t.node_id == node
+                    ]
+                    if not victims:
+                        continue
+                    orphans = executor.crash_tasks(victims, reaper)
+                    if executor.tasks:
+                        rehomes.append((executor, orphans))
+                    else:
+                        # Every worker lived on the dead node: nothing left to
+                        # re-home onto, so the executor restarts from scratch.
+                        executor.crash_main(reaper)
+                        restarts.append((executor, prev_cores))
+            span.mark("destroyed")
+            proto.advance("destroyed")
 
-        yield self.env.timeout(self.detection_delay)
-        span.mark("detected")
+            yield self.env.timeout(self.detection_delay)
+            span.mark("detected")
+            proto.advance("detected")
 
-        # Sources are backed by a replayable input; they re-host and
-        # catch up rather than lose tuples.
-        self._relocate_sources(node)
+            # Sources are backed by a replayable input; they re-host and
+            # catch up rather than lose tuples.
+            self._relocate_sources(node)
 
-        procs = []
-        for executor, orphans in rehomes:
-            procs.append(
-                self.env.process(
-                    executor.rehome_orphans(
-                        orphans, node, self.stats, self.rebuild_rate,
-                        lose_state=True,
+            procs = []
+            for executor, orphans in rehomes:
+                procs.append(
+                    self.env.process(
+                        executor.rehome_orphans(
+                            orphans, node, self.stats, self.rebuild_rate,
+                            lose_state=True,
+                        )
                     )
                 )
-            )
-        for executor, prev_cores in restarts:
-            procs.append(
-                self.env.process(
-                    self._restart_executor(
-                        executor, target_cores=prev_cores, parent_span=span
+            for executor, prev_cores in restarts:
+                procs.append(
+                    self.env.process(
+                        self._restart_executor(
+                            executor, target_cores=prev_cores, parent_span=span
+                        )
                     )
                 )
-            )
-        for op_name in sorted(rc_dead):
-            manager = system.rc_managers[op_name]
-            procs.append(
-                self.env.process(
-                    manager.recover_from_crash(
-                        rc_dead[op_name], self.stats, self.rebuild_rate,
-                        state_lost=True,
+            for op_name in sorted(rc_dead):
+                manager = system.rc_managers[op_name]
+                procs.append(
+                    self.env.process(
+                        manager.recover_from_crash(
+                            rc_dead[op_name], self.stats, self.rebuild_rate,
+                            state_lost=True,
+                        )
                     )
                 )
-            )
-        for proc in procs:
-            if not proc.triggered:
-                yield proc
-        span.mark("repaired")
+            for proc in procs:
+                if not proc.triggered:
+                    yield proc
+            span.mark("repaired")
+            proto.advance("repaired")
 
-        # Re-run global allocation over the surviving cores.
-        if system.scheduler is not None:
-            yield from system.scheduler.reschedule()
-        self._event("node_recovered", f"node={node}")
-        span.finish(status="ok", rehomes=len(rehomes),
-                    restarts=len(restarts), rc_operators=len(rc_dead))
+            # Re-run global allocation over the surviving cores.
+            if system.scheduler is not None:
+                yield from system.scheduler.reschedule()
+            self._event("node_recovered", f"node={node}")
+            span.finish(status="ok", rehomes=len(rehomes),
+                        restarts=len(restarts), rc_operators=len(rc_dead))
+            proto.advance("done")
+        finally:
+            # A kill mid-recovery lands here with the span still open.
+            span.finish(status="aborted")
+            proto.close("aborted")
 
     # -- single-core failure -----------------------------------------------
 
@@ -288,13 +299,16 @@ class FaultCoordinator:
             "recovery", source="faults", fault="core_failure",
             detail=f"node={node} executor={executor.name}",
         )
+        proto = FAULT_RECOVERY.tracker()
         try:
             manager = getattr(executor, "manager", None)
             if manager is not None:  # RC: single-core executors die whole
                 executor.crash(self._reaper_for(executor))
                 span.mark("destroyed")
+                proto.advance("destroyed")
                 yield self.env.timeout(self.detection_delay)
                 span.mark("detected")
+                proto.advance("detected")
                 yield self.env.process(
                     manager.recover_from_crash(
                         [executor], self.stats, self.rebuild_rate,
@@ -302,7 +316,9 @@ class FaultCoordinator:
                     )
                 )
                 span.mark("repaired")
+                proto.advance("repaired")
                 span.finish(status="ok", path="rc_global_sync")
+                proto.advance("done")
                 return
 
             # Executor-centric: kill the task pinned to the dead core.  The
@@ -317,9 +333,11 @@ class FaultCoordinator:
             )
             orphans = executor.crash_tasks([victim], reaper)
             span.mark("destroyed")
+            proto.advance("destroyed")
             if executor.tasks:
                 yield self.env.timeout(self.detection_delay)
                 span.mark("detected")
+                proto.advance("detected")
                 yield self.env.process(
                     executor.rehome_orphans(
                         orphans, node, self.stats, self.rebuild_rate,
@@ -327,20 +345,26 @@ class FaultCoordinator:
                     )
                 )
                 span.mark("repaired")
+                proto.advance("repaired")
                 span.finish(status="ok", path="rehome")
+                proto.advance("done")
             else:
                 # Its only worker died (static executors always land here):
                 # the process cannot limp on, so it restarts on a fresh core.
                 executor.crash_main(reaper)
                 yield self.env.timeout(self.detection_delay)
                 span.mark("detected")
+                proto.advance("detected")
                 yield self.env.process(
                     self._restart_executor(executor, parent_span=span)
                 )
                 span.mark("repaired")
+                proto.advance("repaired")
                 span.finish(status="ok", path="restart")
+                proto.advance("done")
         finally:
             span.finish(status="aborted")
+            proto.close("aborted")
 
     # -- transient faults --------------------------------------------------
 
@@ -428,62 +452,66 @@ class FaultCoordinator:
             "executor_restart", source="faults", executor=owner,
             parent=parent_span,
         )
-        node = None
-        for attempt in range(self.RESTART_ATTEMPTS):
-            candidate = self._pick_restart_node()
-            if candidate is not None:
-                try:
-                    self.system.cluster.cores.allocate(owner, candidate, 1)
-                    node = candidate
+        try:
+            node = None
+            for attempt in range(self.RESTART_ATTEMPTS):
+                candidate = self._pick_restart_node()
+                if candidate is not None:
+                    try:
+                        self.system.cluster.cores.allocate(owner, candidate, 1)
+                        node = candidate
+                        break
+                    except CoreAllocationError:
+                        pass
+                # No spare capacity: rapid reallocation at core granularity is
+                # exactly what the executor-centric design buys — seize a core
+                # from the best-endowed live executor (milliseconds of
+                # reassignment protocol) instead of waiting for the
+                # scheduler's damped shrink cycle to free one.
+                seized = yield from self._seize_core(executor)
+                if seized is not None:
+                    node = seized
                     break
-                except CoreAllocationError:
-                    pass
-            # No spare capacity: rapid reallocation at core granularity is
-            # exactly what the executor-centric design buys — seize a core
-            # from the best-endowed live executor (milliseconds of
-            # reassignment protocol) instead of waiting for the
-            # scheduler's damped shrink cycle to free one.
-            seized = yield from self._seize_core(executor)
-            if seized is not None:
-                node = seized
-                break
-            yield self.env.timeout(self.RESTART_RETRY_SECONDS)
-        if node is None:
-            # No capacity anywhere: the executor stays down, and its
-            # losses keep counting — conservation remains exact.
-            self._event("restart_stalled", f"executor={owner}")
-            span.finish(status="stalled")
-            return
-        # Best-effort: bring back the pre-crash core count in the same
-        # restart so the recovered key range is not a one-core hotspot.
-        extras = []
-        for _ in range(target_cores - 1):
-            candidate = self._pick_restart_node()
-            if candidate is not None:
-                try:
-                    self.system.cluster.cores.allocate(owner, candidate, 1)
-                    extras.append(candidate)
-                    continue
-                except CoreAllocationError:
-                    pass
-            seized = yield from self._seize_core(executor)
-            if seized is None:
-                break
-            extras.append(seized)
-        spawn_delay = executor.config.remote_process_spawn_seconds
-        if isinstance(executor, StaticExecutor):
-            spawn_delay += self.static_restart_seconds
-        yield self.env.process(
-            executor.restart_on_node(
-                node, self.stats, self.rebuild_rate, spawn_delay=spawn_delay,
-                extra_nodes=extras,
+                yield self.env.timeout(self.RESTART_RETRY_SECONDS)
+            if node is None:
+                # No capacity anywhere: the executor stays down, and its
+                # losses keep counting — conservation remains exact.
+                self._event("restart_stalled", f"executor={owner}")
+                span.finish(status="stalled")
+                return
+            # Best-effort: bring back the pre-crash core count in the same
+            # restart so the recovered key range is not a one-core hotspot.
+            extras = []
+            for _ in range(target_cores - 1):
+                candidate = self._pick_restart_node()
+                if candidate is not None:
+                    try:
+                        self.system.cluster.cores.allocate(owner, candidate, 1)
+                        extras.append(candidate)
+                        continue
+                    except CoreAllocationError:
+                        pass
+                seized = yield from self._seize_core(executor)
+                if seized is None:
+                    break
+                extras.append(seized)
+            spawn_delay = executor.config.remote_process_spawn_seconds
+            if isinstance(executor, StaticExecutor):
+                spawn_delay += self.static_restart_seconds
+            yield self.env.process(
+                executor.restart_on_node(
+                    node, self.stats, self.rebuild_rate, spawn_delay=spawn_delay,
+                    extra_nodes=extras,
+                )
             )
-        )
-        self._event(
-            "executor_restarted",
-            f"executor={owner} node={node} cores={1 + len(extras)}",
-        )
-        span.finish(status="ok", node=node, cores=1 + len(extras))
+            self._event(
+                "executor_restarted",
+                f"executor={owner} node={node} cores={1 + len(extras)}",
+            )
+            span.finish(status="ok", node=node, cores=1 + len(extras))
+        finally:
+            # A kill mid-restart (second crash) must not leak the span.
+            span.finish(status="aborted")
 
     def _seize_core(self, needy: typing.Any) -> typing.Generator:
         """Shrink the live executor with the most tasks by one core and

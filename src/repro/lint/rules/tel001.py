@@ -1,0 +1,144 @@
+"""TEL001 — telemetry discipline: spans always close, arguments stay cheap.
+
+Two invariants keep telemetry safe to leave in hot code:
+
+1. **Every span is closed on all paths.**  A span opened with
+   ``begin_span`` must be finished in a ``finally`` block of the same
+   function — early returns, crash kills, and exceptions otherwise leak
+   an open span and corrupt exported phase logs.  (``Span.finish`` is
+   idempotent, so the ``finally`` double-finish idiom is free.)
+2. **No expensive argument construction reaches a bus call unguarded.**
+   With telemetry off, ``NULL_BUS`` makes ``emit``/``mark``/``finish``
+   no-ops — but Python still evaluates the *arguments*.  A comprehension
+   or ``sum(...)``/``sorted(...)`` in an argument list runs on every call
+   even when the result is discarded; hoist the value into a local that
+   exists anyway, or guard the call with ``if bus.enabled:``.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.lint.core import Finding, ParsedModule, Rule
+
+#: Telemetry call names whose arguments must be cheap.
+_BUS_CALLS = frozenset({"emit", "mark", "finish", "begin_span"})
+
+#: Calls that iterate their argument (linear work at call time).
+_EXPENSIVE_CALLS = frozenset({"sum", "sorted"})
+
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+
+
+def _test_guards_telemetry(test: ast.AST) -> bool:
+    """True when an ``if`` test checks the bus fast path."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute) and node.attr == "enabled":
+            return True
+        if isinstance(node, ast.Name) and node.id in ("NULL_BUS", "NULL_SPAN"):
+            return True
+    return False
+
+
+def _expensive_arg(call: ast.Call) -> typing.Optional[ast.AST]:
+    """The first expensive subexpression in ``call``'s arguments, if any."""
+    arg_roots: typing.List[ast.AST] = list(call.args)
+    arg_roots.extend(kw.value for kw in call.keywords)
+    for root in arg_roots:
+        for node in ast.walk(root):
+            if isinstance(node, _COMPREHENSIONS):
+                return node
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in _EXPENSIVE_CALLS
+            ):
+                return node
+    return None
+
+
+class Tel001(Rule):
+    name = "TEL001"
+    description = "spans close on all paths; bus-call arguments stay cheap"
+
+    def check(self, module: ParsedModule) -> typing.Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_span_lifecycle(module, node)
+        yield from self._check_arguments(module, module.tree, guarded=False)
+
+    # -- 1. span lifecycle ---------------------------------------------------
+
+    def _check_span_lifecycle(
+        self, module: ParsedModule, func: ast.AST
+    ) -> typing.Iterator[Finding]:
+        opened: typing.Dict[str, ast.AST] = {}
+        finished_in_finally: typing.Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if node is not func:
+                    continue  # nested functions get their own pass
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                call = node.value
+                if (
+                    isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "begin_span"
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            opened.setdefault(target.id, node)
+            elif isinstance(node, ast.Try):
+                for stmt in node.finalbody:
+                    for sub in ast.walk(stmt):
+                        if (
+                            isinstance(sub, ast.Call)
+                            and isinstance(sub.func, ast.Attribute)
+                            and sub.func.attr == "finish"
+                            and isinstance(sub.func.value, ast.Name)
+                        ):
+                            finished_in_finally.add(sub.func.value.id)
+        for name, node in opened.items():
+            if name not in finished_in_finally:
+                yield self.finding(
+                    module, node,
+                    f"span {name!r} is not finished in a finally block — an "
+                    "exception or early return would leak it open "
+                    "(add try/finally with a status='aborted' finish)",
+                )
+
+    # -- 2. cheap arguments --------------------------------------------------
+
+    def _check_arguments(
+        self, module: ParsedModule, node: ast.AST, guarded: bool
+    ) -> typing.Iterator[Finding]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.If):
+                child_guard = guarded or _test_guards_telemetry(child.test)
+                for stmt in child.body:
+                    yield from self._check_arguments(module, stmt, child_guard)
+                    yield from self._visit_expr_calls(module, stmt, child_guard)
+                for stmt in child.orelse:
+                    yield from self._check_arguments(module, stmt, guarded)
+                    yield from self._visit_expr_calls(module, stmt, guarded)
+            else:
+                yield from self._check_arguments(module, child, guarded)
+                yield from self._visit_expr_calls(module, child, guarded)
+
+    def _visit_expr_calls(
+        self, module: ParsedModule, node: ast.AST, guarded: bool
+    ) -> typing.Iterator[Finding]:
+        if guarded or not isinstance(node, ast.Call):
+            return
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr in _BUS_CALLS):
+            return
+        expensive = _expensive_arg(node)
+        if expensive is not None:
+            yield self.finding(
+                module, node,
+                f".{func.attr}(...) evaluates an expensive argument "
+                "(comprehension/sum/sorted) even when telemetry is off — "
+                "hoist it into an existing local or guard with "
+                "`if bus.enabled:`",
+            )

@@ -1,0 +1,262 @@
+"""Checked-in transition tables for the control-plane state machines.
+
+Every multi-step protocol in the reproduction — the consistent shard
+reassignment of paper §3.3, the RC baseline's global synchronization, and
+the fault-recovery sequences — advances through a fixed set of phases.
+Historically those phases existed only as telemetry span marks; nothing
+stopped a refactor from, say, updating the routing table before the
+labeling-tuple drain finished.  This module makes the phase graphs
+explicit data:
+
+- The runtime walks a :class:`ProtocolTracker` through its phases and
+  raises :class:`ProtocolError` on any transition the table does not
+  declare.
+- The ``PROTO001`` rule of ``repro lint`` (see
+  :mod:`repro.lint.rules.proto001`) imports the same tables and verifies
+  statically that the ``advance()`` call sequences in
+  ``src/repro/executors/`` and ``src/repro/faults/recovery.py`` only use
+  declared states and edges.
+
+The tables are therefore the single source of truth: changing a protocol
+means changing its table here, and both the runtime assertion and the
+static checker follow automatically.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class ProtocolError(AssertionError):
+    """An undeclared state-machine transition was attempted at runtime."""
+
+    __slots__ = ()
+
+
+class ProtocolTable:
+    """The declared phase graph of one control-plane protocol.
+
+    ``transitions`` maps each state to the set of states reachable from
+    it.  ``terminal`` states may be entered from *any* state (they model
+    aborts/completions that can interrupt the protocol at any phase, e.g.
+    a crash landing in a ``finally`` block) and allow no further
+    transitions.
+    """
+
+    __slots__ = ("name", "initial", "transitions", "terminal", "states")
+
+    def __init__(
+        self,
+        name: str,
+        initial: str,
+        transitions: typing.Mapping[str, typing.FrozenSet[str]],
+        terminal: typing.FrozenSet[str],
+    ) -> None:
+        self.name = name
+        self.initial = initial
+        self.transitions: typing.Dict[str, typing.FrozenSet[str]] = {
+            state: frozenset(nexts) for state, nexts in transitions.items()
+        }
+        self.terminal = frozenset(terminal)
+        states = set(self.transitions) | self.terminal | {initial}
+        for nexts in self.transitions.values():
+            states |= nexts
+        self.states: typing.FrozenSet[str] = frozenset(states)
+        undeclared = {
+            nxt
+            for nexts in self.transitions.values()
+            for nxt in nexts
+            if nxt not in self.transitions and nxt not in self.terminal
+        }
+        if undeclared:
+            raise ValueError(
+                f"protocol {name!r}: states {sorted(undeclared)} are "
+                "reachable but declare no outgoing transitions and are "
+                "not terminal"
+            )
+
+    def allows(self, src: str, dst: str) -> bool:
+        """True when the ``src -> dst`` edge is declared."""
+        if dst in self.terminal:
+            return True
+        return dst in self.transitions.get(src, frozenset())
+
+    def tracker(self) -> "ProtocolTracker":
+        """A fresh runtime walker positioned at the initial state."""
+        return ProtocolTracker(self)
+
+    def __repr__(self) -> str:
+        return f"ProtocolTable({self.name!r}, states={sorted(self.states)})"
+
+
+class ProtocolTracker:
+    """Walks one protocol instance through its table at runtime.
+
+    ``advance`` is called at each phase boundary (next to the telemetry
+    ``span.mark``) and raises :class:`ProtocolError` on an undeclared
+    transition.  Terminal states are idempotent so trackers are safe to
+    close in ``finally`` blocks, mirroring ``Span.finish``.
+    """
+
+    __slots__ = ("table", "state", "_history")
+
+    def __init__(self, table: ProtocolTable) -> None:
+        self.table = table
+        self.state = table.initial
+        self._history: typing.List[str] = [table.initial]
+
+    @property
+    def finished(self) -> bool:
+        return self.state in self.table.terminal
+
+    @property
+    def history(self) -> typing.Tuple[str, ...]:
+        return tuple(self._history)
+
+    def advance(self, state: str) -> "ProtocolTracker":
+        """Move to ``state``; raises :class:`ProtocolError` if undeclared."""
+        if state == self.state and state in self.table.terminal:
+            return self  # idempotent close (finally-block safety)
+        if state not in self.table.states:
+            raise ProtocolError(
+                f"protocol {self.table.name!r}: unknown state {state!r} "
+                f"(history: {' -> '.join(self._history)})"
+            )
+        if self.finished:
+            raise ProtocolError(
+                f"protocol {self.table.name!r}: transition to {state!r} "
+                f"after terminal {self.state!r} "
+                f"(history: {' -> '.join(self._history)})"
+            )
+        if not self.table.allows(self.state, state):
+            raise ProtocolError(
+                f"protocol {self.table.name!r}: undeclared transition "
+                f"{self.state!r} -> {state!r} "
+                f"(history: {' -> '.join(self._history)})"
+            )
+        self.state = state
+        self._history.append(state)
+        return self
+
+    def close(self, state: str) -> "ProtocolTracker":
+        """Enter terminal ``state`` unless already finished.
+
+        The ``finally``-block counterpart of :meth:`advance`: a protocol
+        that already completed (``done``) ignores the close, exactly like
+        ``Span.finish`` ignores its second call.
+        """
+        if state not in self.table.terminal:
+            raise ProtocolError(
+                f"protocol {self.table.name!r}: close() requires a "
+                f"terminal state, got {state!r}"
+            )
+        if self.finished:
+            return self
+        return self.advance(state)
+
+
+def _table(
+    name: str,
+    initial: str,
+    edges: typing.Mapping[str, typing.Iterable[str]],
+    terminal: typing.Iterable[str],
+) -> ProtocolTable:
+    return ProtocolTable(
+        name,
+        initial,
+        {state: frozenset(nexts) for state, nexts in edges.items()},
+        frozenset(terminal),
+    )
+
+
+#: Consistent shard reassignment (paper §3.3): pause routing, drain with a
+#: labeling tuple, migrate state across processes, update the routing
+#: table.  ``aborted`` may interrupt any phase (crash recovery owns the
+#: shard afterwards).
+SHARD_REASSIGN = _table(
+    "shard_reassign",
+    "start",
+    {
+        "start": ["pause"],
+        "pause": ["drain"],
+        "drain": ["migration"],
+        "migration": ["routing_update"],
+        "routing_update": ["done"],
+    },
+    ["done", "aborted"],
+)
+
+#: RC operator-level repartitioning: pause every upstream, wait for the
+#: in-flight ledger to drain, migrate state between node stores, push new
+#: routing tables to all upstreams.
+RC_SYNC = _table(
+    "rc_sync",
+    "start",
+    {
+        "start": ["pause"],
+        "pause": ["drain"],
+        "drain": ["migration"],
+        "migration": ["routing_update"],
+        "routing_update": ["done"],
+    },
+    ["done", "aborted"],
+)
+
+#: RC crash recovery runs the same global synchronization as a
+#: repartitioning round — that sameness *is* the baseline's cost — so it
+#: shares the phase graph, with an extra escape hatch: when no capacity
+#: exists anywhere the operator parks in ``stalled`` after the drain.
+RC_RECOVERY = _table(
+    "rc_recovery",
+    "start",
+    {
+        "start": ["pause"],
+        "pause": ["drain"],
+        "drain": ["migration", "stalled"],
+        "migration": ["routing_update"],
+        "routing_update": ["done"],
+    },
+    ["done", "aborted", "stalled"],
+)
+
+#: Fault-coordinator recovery (node crash and core failure alike):
+#: destruction is immediate, detection waits the configured delay, then
+#: the paradigm's own repair machinery runs.  ``stalled`` models a
+#: restart that found no capacity anywhere.
+FAULT_RECOVERY = _table(
+    "fault_recovery",
+    "start",
+    {
+        "start": ["destroyed"],
+        "destroyed": ["detected"],
+        "detected": ["repaired", "stalled"],
+        "repaired": ["done"],
+    },
+    ["done", "aborted", "stalled"],
+)
+
+#: Elastic orphan re-homing after a crash: the surviving tasks absorb the
+#: orphaned shards (state rebuilt or re-migrated), then routing resumes.
+REHOME = _table(
+    "rehome",
+    "start",
+    {
+        "start": ["placed"],
+        "placed": ["restored"],
+        "restored": ["done"],
+    },
+    ["done", "aborted"],
+)
+
+#: All checked-in tables, keyed by name — the registry the PROTO001
+#: checker (and tooling like docs generation) iterates.
+TABLES: typing.Dict[str, ProtocolTable] = {
+    table.name: table
+    for table in (
+        SHARD_REASSIGN,
+        RC_SYNC,
+        RC_RECOVERY,
+        FAULT_RECOVERY,
+        REHOME,
+    )
+}

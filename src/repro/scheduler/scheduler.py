@@ -137,68 +137,72 @@ class DynamicScheduler:
 
     def reschedule(self) -> typing.Generator:
         """Measure, model, assign, and apply.  Simulation process body."""
-        wall_started = time.perf_counter()
+        # Solver wall-clock is a measurement side channel (reported, never
+        # fed back into virtual time), so real time is safe here.
+        wall_started = time.perf_counter()  # repro: allow[DET001]: solver wall-clock side channel
         now = self.env.now
         self._round += 1
         bus = self.env.telemetry
         span = bus.begin_span("scheduler_round", source="scheduler",
                               round=self._round)
-        live = self.live_executors
-        demands = []
-        for executor in live:
-            arrival = executor.metrics.arrival_rate(now) * self.demand_headroom
-            service = executor.metrics.service_rate()
-            if executor.is_congested():
-                self._last_congested_round[executor.name] = self._round
-                # Backpressure caps the measured λ at current capacity;
-                # ask for headroom so admission (and the estimate) can grow.
-                arrival = max(arrival, executor.num_cores * service * 1.5)
-            demands.append(
-                ExecutorDemand(
-                    name=executor.name,
-                    arrival_rate=arrival,
-                    service_rate=service,
+        try:
+            live = self.live_executors
+            demands = []
+            for executor in live:
+                arrival = executor.metrics.arrival_rate(now) * self.demand_headroom
+                service = executor.metrics.service_rate()
+                if executor.is_congested():
+                    self._last_congested_round[executor.name] = self._round
+                    # Backpressure caps the measured λ at current capacity;
+                    # ask for headroom so admission (and the estimate) can grow.
+                    arrival = max(arrival, executor.num_cores * service * 1.5)
+                demands.append(
+                    ExecutorDemand(
+                        name=executor.name,
+                        arrival_rate=arrival,
+                        service_rate=service,
+                    )
+                )
+            budget = self.cluster.cores.total_capacity - sum(
+                self.reserved_by_node.values()
+            )
+            if self.naive:
+                # From-scratch placement needs transition slack: a relocating
+                # executor briefly holds its old core and its new one.
+                budget = max(len(live), budget - 2)
+            allocation = self.allocator.allocate(demands, total_cores=budget)
+            targets = self._damp_shrinks(allocation.cores, budget)
+            inp = AssignmentInput(
+                targets=targets,
+                current={ex.name: ex.cores_by_node() for ex in live},
+                local_node={ex.name: ex.local_node for ex in live},
+                state_bytes={ex.name: float(ex.state_bytes()) for ex in live},
+                data_rates={ex.name: ex.metrics.data_rate(now) for ex in live},
+                node_capacity=self._capacity_less_reserved(),
+                phi=self.phi,
+            )
+            if self.naive:
+                matrix = NaiveAssigner().assign(inp)
+                phi_used = float("inf")
+            else:
+                matrix, phi_used = solve_assignment(inp)
+            wall_seconds = time.perf_counter() - wall_started  # repro: allow[DET001]: solver wall-clock side channel
+            added, removed = self._diff(matrix)
+            cores_added = sum(count for _, _, count in added)
+            cores_removed = sum(count for _, _, count in removed)
+            self.report.record(
+                SchedulerRound(
+                    time=now,
+                    wall_seconds=wall_seconds,
+                    total_target_cores=allocation.total_cores,
+                    expected_latency=allocation.expected_latency,
+                    feasible=allocation.feasible,
+                    phi_used=phi_used,
+                    cores_added=cores_added,
+                    cores_removed=cores_removed,
                 )
             )
-        budget = self.cluster.cores.total_capacity - sum(
-            self.reserved_by_node.values()
-        )
-        if self.naive:
-            # From-scratch placement needs transition slack: a relocating
-            # executor briefly holds its old core and its new one.
-            budget = max(len(live), budget - 2)
-        allocation = self.allocator.allocate(demands, total_cores=budget)
-        targets = self._damp_shrinks(allocation.cores, budget)
-        inp = AssignmentInput(
-            targets=targets,
-            current={ex.name: ex.cores_by_node() for ex in live},
-            local_node={ex.name: ex.local_node for ex in live},
-            state_bytes={ex.name: float(ex.state_bytes()) for ex in live},
-            data_rates={ex.name: ex.metrics.data_rate(now) for ex in live},
-            node_capacity=self._capacity_less_reserved(),
-            phi=self.phi,
-        )
-        if self.naive:
-            matrix = NaiveAssigner().assign(inp)
-            phi_used = float("inf")
-        else:
-            matrix, phi_used = solve_assignment(inp)
-        wall_seconds = time.perf_counter() - wall_started
-        added, removed = self._diff(matrix)
-        self.report.record(
-            SchedulerRound(
-                time=now,
-                wall_seconds=wall_seconds,
-                total_target_cores=allocation.total_cores,
-                expected_latency=allocation.expected_latency,
-                feasible=allocation.feasible,
-                phi_used=phi_used,
-                cores_added=sum(count for _, _, count in added),
-                cores_removed=sum(count for _, _, count in removed),
-            )
-        )
-        span.mark("planned")
-        try:
+            span.mark("planned")
             yield from self._apply(added, removed)
             span.finish(
                 status="ok",
@@ -206,8 +210,8 @@ class DynamicScheduler:
                 total_target_cores=allocation.total_cores,
                 expected_latency=allocation.expected_latency,
                 feasible=allocation.feasible,
-                cores_added=sum(count for _, _, count in added),
-                cores_removed=sum(count for _, _, count in removed),
+                cores_added=cores_added,
+                cores_removed=cores_removed,
             )
         finally:
             span.finish(status="aborted")

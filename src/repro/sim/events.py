@@ -12,9 +12,13 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel."""
 
+    __slots__ = ()
+
 
 class _Pending:
     """Sentinel for an event value that has not been set yet."""
+
+    __slots__ = ()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<PENDING>"

@@ -13,6 +13,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class ProcessCrash(SimulationError):
     """Raised when a process dies with an unhandled exception."""
 
+    __slots__ = ()
+
 
 class Process(Event):
     """A coroutine of events.

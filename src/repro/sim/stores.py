@@ -22,6 +22,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class StoreFull(SimulationError):
     """Raised by :meth:`Store.put_nowait` when the store is at capacity."""
 
+    __slots__ = ()
+
 
 class Store:
     """A FIFO item channel with optional capacity.

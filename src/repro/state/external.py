@@ -29,6 +29,10 @@ class ExternalStateService:
     #: CPU cost of (de)serializing one state access payload.
     SERIALIZATION_SECONDS = 20e-6
 
+    __slots__ = (
+        "env", "fabric", "storage_nodes", "access_bytes", "_shards", "accesses",
+    )
+
     def __init__(
         self,
         env: Environment,

@@ -23,6 +23,8 @@ class MigrationClock:
     matching the regimes of the paper's Figure 9b.
     """
 
+    __slots__ = ("serialization_bytes_per_s",)
+
     def __init__(self, serialization_bytes_per_s: float = 2e9) -> None:
         if serialization_bytes_per_s <= 0:
             raise ValueError("serialization rate must be positive")

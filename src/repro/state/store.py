@@ -10,6 +10,8 @@ from repro.state.shard import ShardState
 class StateError(RuntimeError):
     """Raised on invalid shard-store operations (double add, missing shard)."""
 
+    __slots__ = ()
+
 
 class ProcessStateStore:
     """The in-memory KV store of one executor process on one node.
@@ -19,6 +21,8 @@ class ProcessStateStore:
     (paper §3.2).  An executor has one store on its local node plus one per
     remote node where it runs remote tasks.
     """
+
+    __slots__ = ("executor_name", "node_id", "_shards")
 
     def __init__(self, executor_name: str, node_id: int) -> None:
         self.executor_name = executor_name

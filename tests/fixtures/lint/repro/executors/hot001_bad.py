@@ -1,0 +1,23 @@
+"""HOT001 fixture: hot-module classes violating the slots contract."""
+
+
+class NoSlots:
+    """Missing __slots__ entirely."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+
+class GrowsLater:
+    """Declares slots but invents an attribute outside __init__."""
+
+    __slots__ = ("declared", "cache")
+
+    def __init__(self) -> None:
+        self.declared = 1
+
+    def warm(self) -> None:
+        self.cache = {}  # in __slots__: fine
+
+    def leak(self) -> None:
+        self.surprise = 42  # not in __slots__, not set by __init__

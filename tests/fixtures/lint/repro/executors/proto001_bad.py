@@ -1,0 +1,21 @@
+"""PROTO001 fixture: transitions the checked-in tables do not declare."""
+
+from repro.protocol import SHARD_REASSIGN
+
+
+def skips_drain(env):
+    proto = SHARD_REASSIGN.tracker()
+    proto.advance("pause")
+    proto.advance("routing_update")  # undeclared: pause -> routing_update
+    proto.advance("done")
+
+
+def unknown_state():
+    proto = SHARD_REASSIGN.tracker()
+    proto.advance("warmup")  # not a declared state
+
+
+def bad_close():
+    proto = SHARD_REASSIGN.tracker()
+    proto.advance("pause")
+    proto.close("pause")  # close requires a terminal state

@@ -1,0 +1,17 @@
+"""SIM001 fixture: callback-compiled delivery methods that block."""
+
+
+class BadDelivery:
+    __slots__ = ("queue", "item", "env")
+
+    def __call__(self, _event):
+        self.queue.get()  # discarded event: the continuation is lost
+
+    def _on_transfer(self, _event):
+        self.env.process(self._drain())  # spawns the frames we compiled away
+
+    def _on_put(self, _event):
+        yield self.env.timeout(1.0)  # a generator callback never runs
+
+    def _drain(self):
+        return None

@@ -1,0 +1,11 @@
+"""Allowlist fixture: mirrors the sweep runner's wall-clock side channel.
+
+The path suffix ``repro/sweep/runner.py`` is on the DET001 allowlist, so
+the wall-clock read below must produce no findings.
+"""
+
+import time
+
+
+def wall_elapsed(started: float) -> float:
+    return time.monotonic() - started

@@ -1,0 +1,7 @@
+"""Fixture: a suppression without a justification is itself a finding."""
+
+import time
+
+
+def measured() -> float:
+    return time.perf_counter()  # repro: allow[DET001]

@@ -1,0 +1,7 @@
+"""Suppression round-trip fixture: justified allows silence the rule."""
+
+import time
+
+
+def measured() -> float:
+    return time.perf_counter()  # repro: allow[DET001]: fixture exercises the suppression path

@@ -1,0 +1,19 @@
+"""TEL001 fixture: leaked span and expensive unguarded bus arguments."""
+
+
+def leaky(bus, work):
+    span = bus.begin_span("leaky")
+    work()
+    span.finish(status="ok")  # not in a finally: an exception leaks it
+
+
+def expensive_args(bus, moves):
+    bus.emit("moves", total=sum(m.cost for m in moves))
+
+
+def expensive_finish(bus, items):
+    span = bus.begin_span("round")
+    try:
+        span.finish(status="ok", names=[str(i) for i in items])
+    finally:
+        span.finish(status="aborted")
