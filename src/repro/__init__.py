@@ -31,11 +31,20 @@ from repro.runtime import Paradigm, StreamSystem, SystemConfig, SystemResult
 from repro.scheduler import DynamicScheduler, GreedyAllocator
 from repro.sweep import SweepRunner, SweepSpec, TrialConfig
 from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
-from repro.workloads import MicroBenchmarkWorkload, SSEWorkload, ZipfKeyDistribution
+from repro.workloads import (
+    BurstEvent,
+    HotspotBurst,
+    MicroBenchmarkWorkload,
+    RecordedWorkload,
+    ScheduledBurst,
+    SSEWorkload,
+    ZipfKeyDistribution,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BurstEvent",
     "DynamicScheduler",
     "ElasticExecutor",
     "ExecutorConfig",
@@ -43,13 +52,16 @@ __all__ = [
     "FaultKind",
     "FaultSpec",
     "GreedyAllocator",
+    "HotspotBurst",
     "KeySpace",
     "MicroBenchmarkWorkload",
     "OperatorLogic",
     "OrderBook",
     "Paradigm",
     "RCOperatorManager",
+    "RecordedWorkload",
     "SSEWorkload",
+    "ScheduledBurst",
     "StateAccess",
     "StaticExecutor",
     "StreamSystem",

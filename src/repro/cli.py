@@ -26,6 +26,7 @@ import typing
 from repro.analysis import ResultTable, SingleExecutorHarness
 from repro.faults import FaultSpec
 from repro.runtime import Paradigm, StreamSystem, SystemConfig
+from repro.scheduler.strategies import STRATEGY_NAMES
 from repro.workloads import MicroBenchmarkWorkload, SSEWorkload
 
 PARADIGM_NAMES = {p.value: p for p in Paradigm}
@@ -64,6 +65,16 @@ def _build_config(args: argparse.Namespace, paradigm: Paradigm) -> SystemConfig:
         source_instances=args.sources,
         latency_target=args.latency_target_ms / 1000.0,
         enable_hybrid=args.hybrid,
+        scheduler_strategy=(
+            "naive-ec" if paradigm is Paradigm.NAIVE_EC
+            else getattr(args, "scheduler", "reactive")
+        ),
+        forecast_alpha=getattr(args, "forecast_alpha", 0.5),
+        forecast_beta=getattr(args, "forecast_beta", 0.3),
+        forecast_gamma=getattr(args, "forecast_gamma", 0.0),
+        forecast_season=getattr(args, "forecast_season", 0),
+        forecast_horizon=getattr(args, "forecast_horizon", 3),
+        proactive_headroom=getattr(args, "proactive_headroom", 1.25),
         fault_spec=getattr(args, "fault_spec", None),
         detection_delay=getattr(args, "detection_delay", 0.25),
         state_rebuild_bytes_per_s=getattr(args, "rebuild_mbps", 100.0) * 1e6,
@@ -336,6 +347,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--latency-target-ms", type=float, default=50.0)
     parser.add_argument("--hybrid", action="store_true",
                         help="enable the hybrid split/merge controller")
+    parser.add_argument(
+        "--scheduler", choices=STRATEGY_NAMES, default="reactive",
+        help="scheduling strategy for the executor-centric paradigms "
+             "(docs/scheduling.md); naive-ec is forced for the naive-ec "
+             "paradigm",
+    )
+    parser.add_argument("--forecast-alpha", type=float, default=0.5,
+                        help="forecast level smoothing factor, (0, 1]")
+    parser.add_argument("--forecast-beta", type=float, default=0.3,
+                        help="forecast trend smoothing factor, [0, 1]")
+    parser.add_argument("--forecast-gamma", type=float, default=0.0,
+                        help="forecast seasonal smoothing factor, [0, 1]")
+    parser.add_argument("--forecast-season", type=int, default=0,
+                        help="season length in scheduler rounds (0 = off)")
+    parser.add_argument("--forecast-horizon", type=int, default=3,
+                        help="forecast horizon in scheduler rounds")
+    parser.add_argument("--proactive-headroom", type=float, default=1.25,
+                        help="proactive burst threshold as a multiple of "
+                             "current executor capacity (>= 1.0)")
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument(
         "--fault-spec", default=None,

@@ -472,6 +472,23 @@ class ElasticExecutor:
             finally:
                 self._control.release()
 
+    def rebalance_now(self) -> typing.Generator:
+        """One immediate balancing round (simulation process body).
+
+        The proactive scheduler's forecast-triggered path: spread this
+        executor's shards over its cores *now* instead of waiting for
+        the periodic balance loop to observe the imbalance.  Plans on
+        the last snapshotted shard loads — taking a fresh snapshot
+        mid-interval would divide a partial accumulation window by the
+        full interval and under-estimate every load.
+        """
+        yield self._control.request()
+        try:
+            if self.alive:
+                yield from self._rebalance_locked()
+        finally:
+            self._control.release()
+
     def _rebalance_locked(self) -> typing.Generator:
         """Plan and execute shard moves.  Caller must hold the control lock."""
         bus = self.env.telemetry

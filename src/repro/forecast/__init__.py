@@ -1,0 +1,24 @@
+"""Deterministic demand forecasting over metric rate series.
+
+The predictive scheduler paradigm (docs/scheduling.md) feeds each
+executor's measured arrival rate — one observation per scheduling round —
+into a per-executor forecaster and allocates cores against the
+horizon-``h`` *predicted* demand instead of the last measurement.
+
+Everything here is replay-safe by construction: state is a pure fold
+over the observation sequence (no wall clock, no RNG), so the same
+seeded run produces bit-identical forecasts, and incremental vs batch
+fitting agree exactly.
+"""
+
+from repro.forecast.base import Forecaster
+from repro.forecast.bank import ForecastBank
+from repro.forecast.ewma import EWMAForecaster
+from repro.forecast.holtwinters import HoltWintersForecaster
+
+__all__ = [
+    "EWMAForecaster",
+    "ForecastBank",
+    "Forecaster",
+    "HoltWintersForecaster",
+]

@@ -1,0 +1,33 @@
+"""Exponentially weighted moving average predictor.
+
+The simplest member of the family: a single smoothed level, no trend, no
+seasonality.  Its forecast is flat (the same level at every horizon),
+which makes it the right default for noisy-but-stationary rate series —
+and the baseline the Holt-Winters variants must beat on trending ones.
+"""
+
+from __future__ import annotations
+
+from repro.forecast.base import Forecaster
+
+
+class EWMAForecaster(Forecaster):
+    """Level-only exponential smoothing: ``l <- a*x + (1-a)*l``."""
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        super().__init__()
+        self.alpha = alpha
+        self.level = 0.0
+
+    def _absorb(self, value: float) -> None:
+        if self.observations == 1:
+            # Seed the level with the first observation instead of
+            # decaying up from 0 — halves the step-response time.
+            self.level = value
+        else:
+            self.level += self.alpha * (value - self.level)
+
+    def _project(self, horizon: int) -> float:
+        return self.level

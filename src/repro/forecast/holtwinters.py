@@ -1,0 +1,96 @@
+"""Holt / Holt-Winters exponential smoothing.
+
+Holt's linear method adds a smoothed trend term to EWMA, so a steadily
+ramping arrival rate extrapolates forward instead of lagging — the
+property the predictive scheduler leans on to allocate cores *before* a
+ramp crosses capacity.  With ``gamma > 0`` and a ``season_length``, the
+additive Holt-Winters form also learns a repeating per-slot offset
+(diurnal load patterns, periodic batch jobs).
+
+Seasonal components are zero-initialized and learned online: the level
+absorbs the series mean while each slot's offset converges over the
+first few cycles.  That keeps the update strictly incremental — state is
+a pure fold over the observation sequence, so incremental and batch
+fitting are bit-identical (the replay-safety contract of
+:class:`~repro.forecast.base.Forecaster`).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.forecast.base import Forecaster
+
+
+class HoltWintersForecaster(Forecaster):
+    """Additive Holt(-Winters) smoothing with optional seasonality.
+
+    With ``season_length == 0`` (the default) this is Holt's linear
+    method: level + trend.  With ``season_length >= 2`` and ``gamma > 0``
+    an additive seasonal ring of that many slots is maintained too.
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.5,
+        beta: float = 0.3,
+        gamma: float = 0.0,
+        season_length: int = 0,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if not 0.0 <= beta <= 1.0:
+            raise ValueError(f"beta must be in [0, 1], got {beta}")
+        if not 0.0 <= gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+        if season_length < 0 or season_length == 1:
+            raise ValueError(
+                f"season_length must be 0 (off) or >= 2, got {season_length}"
+            )
+        if gamma > 0.0 and season_length == 0:
+            raise ValueError("gamma > 0 requires a season_length >= 2")
+        super().__init__()
+        self.alpha = alpha
+        self.beta = beta
+        self.gamma = gamma
+        self.season_length = season_length
+        self.level = 0.0
+        self.trend = 0.0
+        self._season: typing.List[float] = [0.0] * season_length
+        #: Ring position of the *next* observation's seasonal slot.
+        self._pos = 0
+
+    @property
+    def seasonal(self) -> bool:
+        return self.season_length >= 2 and self.gamma > 0.0
+
+    def _absorb(self, value: float) -> None:
+        if self.observations == 1:
+            self.level = value
+            self.trend = 0.0
+        else:
+            seasonal_offset = self._season[self._pos] if self.seasonal else 0.0
+            previous_level = self.level
+            self.level = (
+                self.alpha * (value - seasonal_offset)
+                + (1.0 - self.alpha) * (self.level + self.trend)
+            )
+            self.trend = (
+                self.beta * (self.level - previous_level)
+                + (1.0 - self.beta) * self.trend
+            )
+            if self.seasonal:
+                self._season[self._pos] = (
+                    self.gamma * (value - self.level)
+                    + (1.0 - self.gamma) * seasonal_offset
+                )
+        if self.season_length:
+            self._pos = (self._pos + 1) % self.season_length
+
+    def _project(self, horizon: int) -> float:
+        value = self.level + horizon * self.trend
+        if self.seasonal and horizon >= 1:
+            # _pos is the slot the next observation will land in, i.e.
+            # the slot of the horizon-1 forecast.
+            value += self._season[(self._pos + horizon - 1) % self.season_length]
+        return value

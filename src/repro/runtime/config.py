@@ -38,6 +38,23 @@ class SystemConfig:
     scheduler_interval: float = 1.0
     latency_target: float = 0.05
     phi: float = 512 * 1024.0
+    #: Scheduling strategy for the executor-centric paradigms
+    #: (docs/scheduling.md): "reactive" (the paper's scheduler),
+    #: "predictive" (forecast-driven allocation + DRR placement),
+    #: "proactive" (predictive + forecast-triggered rebalancing), or
+    #: "naive-ec" (forced when the paradigm is NAIVE_EC).
+    scheduler_strategy: str = "reactive"
+    #: Forecast knobs (predictive/proactive): level / trend / seasonal
+    #: smoothing factors, season length in scheduler rounds (0 = no
+    #: seasonality), and the forecast horizon in rounds.
+    forecast_alpha: float = 0.5
+    forecast_beta: float = 0.3
+    forecast_gamma: float = 0.0
+    forecast_season: int = 0
+    forecast_horizon: int = 3
+    #: Proactive burst threshold: rebalance an executor early when its
+    #: peak forecast exceeds this multiple of its current capacity.
+    proactive_headroom: float = 1.25
     #: RC manager cadence.
     rc_manage_interval: float = 1.0
     #: Static paradigm: executors per operator; None = fill the cluster.
@@ -90,6 +107,25 @@ class SystemConfig:
             raise ValueError("need at least one source instance")
         if self.scheduler_interval <= 0 or self.rc_manage_interval <= 0:
             raise ValueError("scheduler intervals must be positive")
+        from repro.scheduler.strategies import STRATEGY_NAMES
+
+        if self.scheduler_strategy not in STRATEGY_NAMES:
+            raise ValueError(
+                f"scheduler_strategy must be one of {STRATEGY_NAMES}, "
+                f"got {self.scheduler_strategy!r}"
+            )
+        if not 0.0 < self.forecast_alpha <= 1.0:
+            raise ValueError("forecast_alpha must be in (0, 1]")
+        if not 0.0 <= self.forecast_beta <= 1.0:
+            raise ValueError("forecast_beta must be in [0, 1]")
+        if not 0.0 <= self.forecast_gamma <= 1.0:
+            raise ValueError("forecast_gamma must be in [0, 1]")
+        if self.forecast_season < 0 or self.forecast_season == 1:
+            raise ValueError("forecast_season must be 0 (off) or >= 2")
+        if self.forecast_horizon < 1:
+            raise ValueError("forecast_horizon must be >= 1")
+        if self.proactive_headroom < 1.0:
+            raise ValueError("proactive_headroom must be >= 1.0")
         if self.sample_interval <= 0:
             raise ValueError("sample_interval must be positive")
         if self.telemetry_sample_interval <= 0:

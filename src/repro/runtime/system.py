@@ -358,6 +358,13 @@ class StreamSystem:
                 for executors in self.executors_by_operator.values()
                 for executor in executors
             ]
+            from repro.scheduler.strategies import make_strategy
+
+            strategy_name = (
+                "naive-ec"
+                if config.paradigm is Paradigm.NAIVE_EC
+                else config.scheduler_strategy
+            )
             self.scheduler = DynamicScheduler(
                 self.env,
                 self.cluster,
@@ -365,10 +372,21 @@ class StreamSystem:
                 interval=config.scheduler_interval,
                 latency_target=config.latency_target,
                 phi=config.phi,
-                naive=config.paradigm is Paradigm.NAIVE_EC,
                 reserved_by_node=self._reserved_by_node,
+                strategy=make_strategy(
+                    strategy_name,
+                    alpha=config.forecast_alpha,
+                    beta=config.forecast_beta,
+                    gamma=config.forecast_gamma,
+                    season_length=config.forecast_season,
+                    horizon=config.forecast_horizon,
+                    burst_headroom=config.proactive_headroom,
+                ),
             )
             self.scheduler.start()
+            # attach() ran before the scheduler existed; forecast gauges
+            # need the strategy's bank, so they register here.
+            self.telemetry.attach_scheduler(self.scheduler)
             if config.enable_hybrid:
                 self._build_hybrid_controllers(non_source_ops, groups)
 
@@ -624,10 +642,39 @@ class StreamSystem:
         )
 
     def _time_to_steady_state(self, duration: float) -> float:
-        """Seconds from the first fault back to >= 90% pre-fault throughput.
+        """Seconds from the first fault back to steady-state throughput.
 
+        Thin fault-spec guard around :meth:`steady_state_after` — the
+        disruption time is the first injected fault.
+        """
+        spec = self.config.fault_spec
+        if spec is None or not self.recovery_stats.faults_injected.total:
+            return 0.0
+        t0 = spec.first_fault_time
+        if t0 is None or t0 >= duration:
+            return 0.0
+        return self.steady_state_after(t0, duration)
+
+    def steady_state_after(
+        self,
+        t0: float,
+        duration: float,
+        baseline_until: typing.Optional[float] = None,
+        stable: bool = False,
+        threshold: float = 0.9,
+        window: int = 1,
+    ) -> float:
+        """Seconds from disruption ``t0`` back to >= 90% baseline throughput.
+
+        ``t0`` is any disruption instant — a fault injection, a workload
+        burst onset — and the baseline is the pre-``t0`` throughput.
+        ``baseline_until`` ends the baseline window earlier than ``t0``:
+        for a disruption with a gradual onset (a burst ramp), measure
+        recovery from the plateau but baseline against the bins *before
+        the ramp began* — a system that degrades during the ramp must
+        not get credit for clearing its own depressed baseline.
         Steady state needs BOTH measurement streams healthy, each binned
-        into sample intervals and compared to its own pre-fault mean:
+        into sample intervals and compared to its own pre-disruption mean:
 
         - *sink completions* — a paradigm whose losses dead-letter without
           backpressure admits at full rate while processing nothing for
@@ -636,19 +683,32 @@ class StreamSystem:
           upstream (the RC global-sync gate) keeps completing queued work
           during the stall; only the admission stream shows that freeze.
 
-        The pre-fault baseline of each stream is its mean over the bins
-        fully inside ``[warmup, first_fault)``; recovery is declared at
-        the first post-fault bin where both streams meet their 90%
+        The pre-disruption baseline of each stream is its mean over the
+        bins fully inside ``[warmup, t0)``; recovery is declared at the
+        first post-``t0`` bin where both streams meet their 90%
         thresholds and do so again in the successor bin (if any) — one
         bin is not steady state.  Never recovered within the run means
         the full remainder, ``duration - t0``.
+
+        ``stable=True`` strengthens the recovery condition to *every*
+        remaining bin healthy (recovery ends the last unhealthy bin) —
+        right for gradual disruptions where a couple of early
+        still-healthy bins precede the real collapse, and 0.0 means the
+        system never left steady state at all.  ``threshold`` is the
+        healthy fraction of the baseline (default 0.9).  ``window``
+        smooths the health check over that many consecutive bins — a
+        backlogged system alternates stall and drain-burst bins whose
+        single-bin means look fine, but whose windowed means expose the
+        instability (and conversely, windowing forgives one noisy bin
+        in an otherwise steady stream).
         """
-        spec = self.config.fault_spec
-        if spec is None or not self.recovery_stats.faults_injected.total:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if t0 >= duration:
             return 0.0
-        t0 = spec.first_fault_time
-        if t0 is None or t0 >= duration:
-            return 0.0
+        baseline_end = t0 if baseline_until is None else min(baseline_until, t0)
         interval = self.config.sample_interval
         nbins = max(1, int(duration / interval + 0.5))
         completions = [0.0] * nbins
@@ -671,16 +731,17 @@ class StreamSystem:
                 series[i] for i in range(nbins)
                 if series[i] is not None
                 and i * interval >= self._warmup
-                and (i + 1) * interval <= t0
+                and (i + 1) * interval <= baseline_end
             ]
             if not pre:
                 pre = [
                     series[i] for i in range(nbins)
-                    if series[i] is not None and (i + 1) * interval <= t0
+                    if series[i] is not None
+                    and (i + 1) * interval <= baseline_end
                 ]
             if not pre:
                 return None
-            return 0.9 * (sum(pre) / len(pre))
+            return threshold * (sum(pre) / len(pre))
 
         comp_threshold = threshold_for(completions)
         adm_threshold = threshold_for(admission)
@@ -688,15 +749,28 @@ class StreamSystem:
             return duration - t0
 
         def healthy(i: int) -> bool:
-            if completions[i] < comp_threshold:
+            span = range(i, min(i + window, nbins))
+            comp_mean = sum(completions[k] for k in span) / len(span)
+            if comp_mean < comp_threshold:
                 return False
-            if adm_threshold is not None and admission[i] is not None:
-                return admission[i] >= adm_threshold
+            if adm_threshold is not None:
+                adm = [
+                    admission[k] for k in span if admission[k] is not None
+                ]
+                if adm:
+                    return sum(adm) / len(adm) >= adm_threshold
             return True
 
-        # The bin straddling the fault is ambiguous; post starts at the
-        # first bin that begins at or after t0.
+        # The bin straddling the disruption is ambiguous; post starts at
+        # the first bin that begins at or after t0.
         post = [i for i in range(nbins) if i * interval >= t0]
+        if stable:
+            unhealthy = [i for i in post if not healthy(i)]
+            if not unhealthy:
+                return 0.0
+            if unhealthy[-1] == post[-1]:
+                return duration - t0
+            return max(0.0, (unhealthy[-1] + 1) * interval - t0)
         for j, i in enumerate(post):
             if healthy(i) and (j + 1 >= len(post) or healthy(post[j + 1])):
                 return max(0.0, (i + 1) * interval - t0)

@@ -14,6 +14,14 @@ Pipeline per scheduling round:
 
 :class:`NaiveAssigner` implements the paper's naive-EC ablation: the same
 k_j allocation but placement that ignores migration cost and locality.
+
+Steps 2 and 3 are strategy hooks (:mod:`repro.scheduler.strategies`):
+besides the reactive default and the naive-EC ablation, the
+``predictive`` strategy allocates against Holt-Winters forecast demand
+and places by dominant remaining resource
+(:func:`~repro.scheduler.predictive.drr_assignment`), and ``proactive``
+additionally rebalances executors ahead of forecast bursts
+(docs/scheduling.md).
 """
 
 from repro.scheduler.model import JacksonNetworkModel, MMKModel, erlang_c
@@ -25,7 +33,17 @@ from repro.scheduler.assignment import (
     greedy_assignment,
     solve_assignment,
 )
+from repro.scheduler.predictive import drr_assignment
 from repro.scheduler.scheduler import DynamicScheduler, SchedulerReport
+from repro.scheduler.strategies import (
+    STRATEGY_NAMES,
+    NaiveECStrategy,
+    PredictiveStrategy,
+    ProactiveStrategy,
+    ReactiveStrategy,
+    SchedulingStrategy,
+    make_strategy,
+)
 
 __all__ = [
     "Allocation",
@@ -37,8 +55,16 @@ __all__ = [
     "JacksonNetworkModel",
     "MMKModel",
     "NaiveAssigner",
+    "NaiveECStrategy",
+    "PredictiveStrategy",
+    "ProactiveStrategy",
+    "ReactiveStrategy",
+    "STRATEGY_NAMES",
     "SchedulerReport",
+    "SchedulingStrategy",
+    "drr_assignment",
     "erlang_c",
     "greedy_assignment",
+    "make_strategy",
     "solve_assignment",
 ]

@@ -1,0 +1,94 @@
+"""Dominant-remaining-resource CPU placement for the predictive strategies.
+
+Elasecutor-style placement: instead of Algorithm 1's migration-cost
+search under a hard locality constraint, each needed core goes to the
+node with the most remaining free capacity.  Packing against the
+dominant remaining resource keeps per-node slack balanced, which
+minimizes fragmentation — the failure mode where total free capacity is
+plentiful but no single node can host the next burst's growth.
+
+The plan still starts from the *current* assignment and only moves the
+delta (surplus released cheapest-first using Algorithm 1's deallocation
+cost), so steady-state rounds are no-ops and migration stays bounded;
+what changes versus the reactive solver is the growth rule.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.scheduler.assignment import (
+    AssignmentFailed,
+    AssignmentInput,
+    _dealloc_cost,
+)
+
+
+def drr_assignment(
+    inp: AssignmentInput,
+) -> typing.Dict[str, typing.Dict[int, int]]:
+    """Compute the target matrix X by dominant-remaining-resource packing.
+
+    Deterministic: executors are processed in descending demand (ties by
+    name), and each core lands on the node maximizing remaining free
+    capacity (ties prefer a node already hosting the executor, then the
+    lowest node id).  Raises :class:`AssignmentFailed` on a genuine
+    capacity shortage.
+    """
+    names = sorted(inp.targets)
+    if sum(inp.targets.values()) > sum(inp.node_capacity.values()):
+        raise AssignmentFailed("demand exceeds cluster capacity")
+    assignment = {j: dict(inp.current.get(j, {})) for j in names}
+    totals = {j: sum(assignment[j].values()) for j in names}
+    used = {i: 0 for i in inp.node_capacity}
+    for j in names:
+        for node, count in assignment[j].items():
+            if node not in used:
+                raise ValueError(f"{j} holds cores on unknown node {node}")
+            used[node] += count
+    free = {i: inp.node_capacity[i] - used[i] for i in inp.node_capacity}
+    if any(count < 0 for count in free.values()):
+        raise ValueError("current assignment exceeds node capacities")
+
+    # Release surplus first (demand shrank): cheapest deallocation per
+    # Algorithm 1's cost model, so shrink rounds stay migration-minimal.
+    for j in names:
+        state_j = inp.state_bytes.get(j, 0.0)
+        while totals[j] > inp.targets[j]:
+            node = min(
+                (n for n, c in assignment[j].items() if c > 0),
+                key=lambda n: (
+                    _dealloc_cost(state_j, totals[j], assignment[j][n]), n
+                ),
+            )
+            assignment[j][node] -= 1
+            if assignment[j][node] == 0:
+                del assignment[j][node]
+            totals[j] -= 1
+            free[node] += 1
+
+    # Grow the under-provisioned, largest predicted demand first — the
+    # biggest consumers get first pick of the least-fragmented nodes.
+    under = [j for j in names if totals[j] < inp.targets[j]]
+    under.sort(key=lambda j: (-inp.targets[j], j))
+    for j in under:
+        while totals[j] < inp.targets[j]:
+            candidates = [n for n in free if free[n] > 0]
+            if not candidates:
+                raise AssignmentFailed(
+                    f"no free core anywhere for under-provisioned executor {j}"
+                )
+            best: typing.Optional[typing.Tuple[int, int, int]] = None
+            node = -1
+            for n in sorted(candidates):
+                # Dominant remaining resource: max free after the grant.
+                # Secondary: co-locate with the executor's existing cores
+                # (free migration for any shard moved onto the new core).
+                score = (-(free[n] - 1), 0 if assignment[j].get(n, 0) else 1, n)
+                if best is None or score < best:
+                    best = score
+                    node = n
+            free[node] -= 1
+            assignment[j][node] = assignment[j].get(node, 0) + 1
+            totals[j] += 1
+    return assignment

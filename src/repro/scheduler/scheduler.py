@@ -20,11 +20,11 @@ import typing
 from repro.cluster.node import Cluster
 from repro.executors.elastic import ElasticExecutor
 from repro.scheduler.allocation import ExecutorDemand, GreedyAllocator
-from repro.scheduler.assignment import (
-    DEFAULT_PHI,
-    AssignmentInput,
-    NaiveAssigner,
-    solve_assignment,
+from repro.scheduler.assignment import DEFAULT_PHI, AssignmentInput
+from repro.scheduler.strategies import (
+    NaiveECStrategy,
+    ReactiveStrategy,
+    SchedulingStrategy,
 )
 from repro.sim import Environment
 
@@ -41,6 +41,12 @@ class SchedulerRound:
     phi_used: float
     cores_added: int
     cores_removed: int
+    strategy: str = "reactive"
+    #: Mean absolute one-step forecast error (0.0 for non-forecasting
+    #: strategies — the reactive baseline has no forecast to be wrong).
+    forecast_error: float = 0.0
+    #: Executors rebalanced ahead of a forecast burst this round.
+    proactive_triggers: int = 0
 
 
 class SchedulerReport:
@@ -77,6 +83,7 @@ class DynamicScheduler:
         naive: bool = False,
         reserved_by_node: typing.Optional[typing.Dict[int, int]] = None,
         demand_headroom: float = 1.2,
+        strategy: typing.Optional[SchedulingStrategy] = None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
@@ -88,7 +95,13 @@ class DynamicScheduler:
         self.interval = interval
         self.allocator = GreedyAllocator(latency_target)
         self.phi = phi
-        self.naive = naive
+        #: Round policy (docs/scheduling.md).  ``naive=True`` is the
+        #: legacy spelling of the naive-EC strategy, kept for callers
+        #: predating the strategy layer.
+        if strategy is None:
+            strategy = NaiveECStrategy() if naive else ReactiveStrategy()
+        self.strategy = strategy
+        self.naive = strategy.needs_transition_slack
         #: Inflation on measured λ: the M/M/k model assumes perfectly
         #: balanced tasks, but the balancer only guarantees δ ≤ θ, so each
         #: executor needs ~θ× the model's capacity to keep its hottest
@@ -147,9 +160,12 @@ class DynamicScheduler:
                               round=self._round)
         try:
             live = self.live_executors
+            strategy = self.strategy
             demands = []
             for executor in live:
-                arrival = executor.metrics.arrival_rate(now) * self.demand_headroom
+                measured = executor.metrics.arrival_rate(now)
+                strategy.observe(executor.name, now, measured)
+                arrival = measured * self.demand_headroom
                 service = executor.metrics.service_rate()
                 if executor.is_congested():
                     self._last_congested_round[executor.name] = self._round
@@ -159,14 +175,20 @@ class DynamicScheduler:
                 demands.append(
                     ExecutorDemand(
                         name=executor.name,
-                        arrival_rate=arrival,
+                        arrival_rate=strategy.demand(executor.name, arrival),
                         service_rate=service,
                     )
                 )
+            # Forecast-burst flags: treated like congestion (no shrinking
+            # an executor a burst is about to hit), plus an early
+            # rebalance after the plan is applied.
+            flagged = strategy.burst_flagged(live, now)
+            for executor in flagged:
+                self._last_congested_round[executor.name] = self._round
             budget = self.cluster.cores.total_capacity - sum(
                 self.reserved_by_node.values()
             )
-            if self.naive:
+            if strategy.needs_transition_slack:
                 # From-scratch placement needs transition slack: a relocating
                 # executor briefly holds its old core and its new one.
                 budget = max(len(live), budget - 2)
@@ -181,11 +203,7 @@ class DynamicScheduler:
                 node_capacity=self._capacity_less_reserved(),
                 phi=self.phi,
             )
-            if self.naive:
-                matrix = NaiveAssigner().assign(inp)
-                phi_used = float("inf")
-            else:
-                matrix, phi_used = solve_assignment(inp)
+            matrix, phi_used = strategy.assign(inp)
             wall_seconds = time.perf_counter() - wall_started  # repro: allow[DET001]: solver wall-clock side channel
             added, removed = self._diff(matrix)
             cores_added = sum(count for _, _, count in added)
@@ -200,10 +218,27 @@ class DynamicScheduler:
                     phi_used=phi_used,
                     cores_added=cores_added,
                     cores_removed=cores_removed,
+                    strategy=strategy.name,
+                    forecast_error=strategy.forecast_error(),
+                    proactive_triggers=len(flagged),
                 )
             )
             span.mark("planned")
             yield from self._apply(added, removed)
+            if flagged:
+                # Proactive path: spread the flagged executors' shards
+                # over their (possibly just-grown) cores before the burst
+                # lands, not when the balance loop next notices skew.
+                procs = []
+                for executor in flagged:
+                    if executor.alive:
+                        bus.emit(
+                            "proactive_rebalance", source="scheduler",
+                            executor=executor.name,
+                        )
+                        procs.append(self.env.process(executor.rebalance_now()))
+                if procs:
+                    yield self.env.all_of(procs)
             span.finish(
                 status="ok",
                 wall_seconds=wall_seconds,
@@ -212,6 +247,9 @@ class DynamicScheduler:
                 feasible=allocation.feasible,
                 cores_added=cores_added,
                 cores_removed=cores_removed,
+                strategy=strategy.name,
+                forecast_error=strategy.forecast_error(),
+                proactive_triggers=len(flagged),
             )
         finally:
             span.finish(status="aborted")

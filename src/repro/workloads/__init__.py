@@ -4,20 +4,33 @@
   micro-benchmark key model — zipf(0.5) frequencies over 10K keys, with a
   random permutation of key frequencies applied ω times per minute to
   emulate workload dynamics.
+- :class:`BurstEvent` + :class:`HotspotBurst`: scheduled hotspot bursts
+  that boost the currently hottest keys by a factor for a fixed window
+  (boosts follow keys across shuffles).
 - :class:`MicroBenchmarkWorkload`: the generator→calculator topology of §5.1.
 - :class:`SSEWorkload`: a synthetic substitute for the proprietary
-  Shanghai Stock Exchange order trace of §5.4 (see DESIGN.md).
+  Shanghai Stock Exchange order trace of §5.4 (see DESIGN.md), with
+  optional deterministic :class:`ScheduledBurst` envelopes for A/B
+  scheduler benchmarks.
 """
 
-from repro.workloads.zipf import KeyShuffler, ZipfKeyDistribution
+from repro.workloads.zipf import (
+    BurstEvent,
+    HotspotBurst,
+    KeyShuffler,
+    ZipfKeyDistribution,
+)
 from repro.workloads.micro import MicroBenchmarkWorkload
 from repro.workloads.replay import RecordedWorkload
-from repro.workloads.sse import SSEWorkload
+from repro.workloads.sse import ScheduledBurst, SSEWorkload
 
 __all__ = [
+    "BurstEvent",
+    "HotspotBurst",
     "KeyShuffler",
     "MicroBenchmarkWorkload",
     "RecordedWorkload",
+    "ScheduledBurst",
     "SSEWorkload",
     "ZipfKeyDistribution",
 ]

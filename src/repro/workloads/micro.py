@@ -13,7 +13,12 @@ import typing
 from repro.logic.base import SyntheticLogic
 from repro.sim import Environment
 from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
-from repro.workloads.zipf import KeyShuffler, ZipfKeyDistribution
+from repro.workloads.zipf import (
+    BurstEvent,
+    HotspotBurst,
+    KeyShuffler,
+    ZipfKeyDistribution,
+)
 
 
 class MicroBenchmarkWorkload:
@@ -29,6 +34,7 @@ class MicroBenchmarkWorkload:
         omega: float = 2.0,
         batch_size: int = 20,
         tick: float = 0.1,
+        bursts: typing.Optional[typing.Sequence[BurstEvent]] = None,
         seed: int = 42,
     ) -> None:
         if rate <= 0:
@@ -46,7 +52,9 @@ class MicroBenchmarkWorkload:
         self.batch_size = batch_size
         self.tick = tick
         self.seed = seed
+        self.bursts = list(bursts) if bursts else []
         self.distribution = ZipfKeyDistribution(num_keys, skew, seed=seed)
+        self.burst_generator: typing.Optional[HotspotBurst] = None
         self.generated_tuples = 0
 
     def build_topology(
@@ -74,9 +82,12 @@ class MicroBenchmarkWorkload:
         return builder.build()
 
     def start_dynamics(self, env: Environment) -> KeyShuffler:
-        """Begin the ω shuffles/minute process."""
+        """Begin the ω shuffles/minute process and scheduled bursts."""
         shuffler = KeyShuffler(env, self.distribution, self.omega)
         shuffler.start()
+        if self.bursts:
+            self.burst_generator = HotspotBurst(env, self.distribution, self.bursts)
+            self.burst_generator.start()
         return shuffler
 
     def schedule(

@@ -19,6 +19,7 @@ keyed by stock id throughout.
 
 from __future__ import annotations
 
+import dataclasses
 import math
 import random
 import typing
@@ -34,6 +35,34 @@ from repro.logic import (
 from repro.logic.orderbook import BUY, ORDER_BYTES, SELL, LimitOrder
 from repro.sim import Environment
 from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
+
+
+@dataclasses.dataclass(frozen=True)
+class ScheduledBurst:
+    """A deterministic hotspot burst on one stock (A/B benchmarking).
+
+    Unlike the random bursts drawn per tick, a scheduled burst consumes
+    no RNG: its envelope ramps linearly from 0 to ``magnitude`` over
+    ``ramp`` seconds starting at ``start``, holds for ``hold`` seconds,
+    then decays geometrically (the workload's ``burst_decay``).  Runs
+    that differ only in scheduled bursts stay on identical RNG streams.
+    """
+
+    start: float
+    stock: int
+    magnitude: float
+    ramp: float = 5.0
+    hold: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("burst start must be >= 0")
+        if self.stock < 0:
+            raise ValueError("burst stock must be >= 0")
+        if self.magnitude <= 0:
+            raise ValueError("burst magnitude must be positive")
+        if self.ramp < 0 or self.hold < 0:
+            raise ValueError("burst ramp/hold must be >= 0")
 
 
 class SSEWorkload:
@@ -63,6 +92,7 @@ class SSEWorkload:
         burst_probability: float = 0.01,
         burst_magnitude: float = 8.0,
         burst_decay: float = 0.92,
+        scheduled_bursts: typing.Optional[typing.Sequence[ScheduledBurst]] = None,
         real_payloads: bool = False,
         seed: int = 7,
     ) -> None:
@@ -79,6 +109,13 @@ class SSEWorkload:
         self.burst_probability = burst_probability
         self.burst_magnitude = burst_magnitude
         self.burst_decay = burst_decay
+        self.scheduled_bursts = list(scheduled_bursts) if scheduled_bursts else []
+        for burst in self.scheduled_bursts:
+            if burst.stock >= num_stocks:
+                raise ValueError(
+                    f"scheduled burst targets stock {burst.stock}, but the "
+                    f"workload has stocks 0..{num_stocks - 1}"
+                )
         self.real_payloads = real_payloads
         self._rng = random.Random(seed)
         self._order_rng = random.Random(seed + 1)
@@ -100,6 +137,24 @@ class SSEWorkload:
 
     # -- time-varying rates -------------------------------------------------
 
+    def _scheduled_envelope(self, stock: int, time: float) -> float:
+        """Deterministic scheduled-burst boost for ``stock`` at ``time``."""
+        boost = 0.0
+        for burst in self.scheduled_bursts:
+            if burst.stock != stock or time < burst.start:
+                continue
+            plateau_at = burst.start + burst.ramp
+            end = plateau_at + burst.hold
+            if time < plateau_at:
+                boost += burst.magnitude * (time - burst.start) / burst.ramp
+            elif time < end:
+                boost += burst.magnitude
+            else:
+                tail = burst.magnitude * self.burst_decay ** (time - end)
+                if tail > 0.05:
+                    boost += tail
+        return boost
+
     def _advance_to(self, tick_index: int) -> None:
         """Advance the per-stock rate processes up to ``tick_index``."""
         while self._advanced_ticks <= tick_index:
@@ -115,8 +170,10 @@ class SSEWorkload:
                     self._burst[stock] = 0.0
                 if rng.random() < self.burst_probability * self.tick:
                     self._burst[stock] = self.burst_magnitude * (0.5 + rng.random())
+            now = self._advanced_ticks * self.tick
             weights = [
-                self.popularity[s] * self._multiplier[s] * (1.0 + self._burst[s])
+                self.popularity[s] * self._multiplier[s]
+                * (1.0 + self._burst[s] + self._scheduled_envelope(s, now))
                 for s in range(self.num_stocks)
             ]
             self._tick_weights.append(weights)

@@ -4,11 +4,19 @@
 zipf distribution with a skew factor of 0.5.  To emulate workload
 dynamics, we shuffle the frequencies of tuple keys by applying a random
 permutation ω times per minute."
+
+On top of the paper's shuffle knob, :meth:`ZipfKeyDistribution.boost`
+multiplies the frequency of chosen *keys* (hotspot bursts, driven by
+:class:`HotspotBurst`).  Boosts follow keys, not ranks: a shuffle
+re-permutes which key sits at each rank and then rebuilds the boosted
+table so the same keys stay hot — a burst that starts mid-window must
+not silently migrate to whichever keys inherit the old ranks.
 """
 
 from __future__ import annotations
 
 import bisect
+import dataclasses
 import itertools
 import random
 import typing
@@ -40,6 +48,10 @@ class ZipfKeyDistribution:
         self._rng.shuffle(self._key_of_rank)
         self._rank_of_key = self._invert(self._key_of_rank)
         self.shuffle_count = 0
+        #: Per-key frequency multipliers (hotspot bursts); empty = pure zipf.
+        self._boosts: typing.Dict[int, float] = {}
+        #: Boost-adjusted cumulative table over ranks; None = no boost active.
+        self._boosted_cumulative: typing.Optional[typing.List[float]] = None
 
     @staticmethod
     def _invert(key_of_rank: typing.List[int]) -> typing.List[int]:
@@ -48,22 +60,70 @@ class ZipfKeyDistribution:
             rank_of_key[key] = rank
         return rank_of_key
 
-    def probability(self, key: int) -> float:
-        """Current frequency of ``key`` (O(1))."""
-        if not 0 <= key < self.num_keys:
-            raise ValueError(f"key {key} outside 0..{self.num_keys - 1}")
-        rank = self._rank_of_key[key]
+    def _base_probability(self, rank: int) -> float:
         low = self._cumulative[rank - 1] if rank > 0 else 0.0
         return self._cumulative[rank] - low
 
+    def _rebuild_boosts(self) -> None:
+        """Recompute the boosted cumulative table against *current* ranks."""
+        if not self._boosts:
+            self._boosted_cumulative = None
+            return
+        weights = [
+            self._base_probability(rank)
+            * self._boosts.get(self._key_of_rank[rank], 1.0)
+            for rank in range(self.num_keys)
+        ]
+        total = sum(weights)
+        self._boosted_cumulative = list(
+            itertools.accumulate(w / total for w in weights)
+        )
+        self._boosted_cumulative[-1] = 1.0
+
+    def boost(self, keys: typing.Iterable[int], factor: float) -> None:
+        """Multiply the frequency of ``keys`` by ``factor`` (renormalized)."""
+        if factor <= 0:
+            raise ValueError(f"boost factor must be > 0, got {factor}")
+        for key in keys:
+            if not 0 <= key < self.num_keys:
+                raise ValueError(f"key {key} outside 0..{self.num_keys - 1}")
+            self._boosts[key] = self._boosts.get(key, 1.0) * factor
+        self._rebuild_boosts()
+
+    def clear_boost(self, keys: typing.Optional[typing.Iterable[int]] = None) -> None:
+        """Remove the boost on ``keys`` (all boosts when None)."""
+        if keys is None:
+            self._boosts.clear()
+        else:
+            for key in keys:
+                self._boosts.pop(key, None)
+        self._rebuild_boosts()
+
+    def probability(self, key: int) -> float:
+        """Current frequency of ``key`` (O(1) without boosts)."""
+        if not 0 <= key < self.num_keys:
+            raise ValueError(f"key {key} outside 0..{self.num_keys - 1}")
+        rank = self._rank_of_key[key]
+        table = self._boosted_cumulative
+        if table is None:
+            return self._base_probability(rank)
+        low = table[rank - 1] if rank > 0 else 0.0
+        return table[rank] - low
+
     def hottest_keys(self, n: int) -> typing.List[int]:
         """The ``n`` currently most frequent keys, hottest first."""
-        return [self._key_of_rank[rank] for rank in range(min(n, self.num_keys))]
+        n = min(n, self.num_keys)
+        if self._boosted_cumulative is None:
+            return [self._key_of_rank[rank] for rank in range(n)]
+        # Boosts can reorder hotness arbitrarily; sort by probability.
+        return sorted(
+            range(self.num_keys), key=lambda k: (-self.probability(k), k)
+        )[:n]
 
     def sample(self, count: int) -> typing.List[int]:
         """Draw ``count`` keys i.i.d. from the current distribution."""
         rng = self._rng
-        cumulative = self._cumulative
+        cumulative = self._boosted_cumulative or self._cumulative
         key_of_rank = self._key_of_rank
         return [
             key_of_rank[bisect.bisect_left(cumulative, rng.random())]
@@ -71,10 +131,17 @@ class ZipfKeyDistribution:
         ]
 
     def shuffle(self) -> None:
-        """Apply a random permutation to the key frequencies."""
+        """Apply a random permutation to the key frequencies.
+
+        Active boosts are rebuilt against the new rank map so they keep
+        following their *keys* — sampling from the stale pre-shuffle
+        table would hand the burst to whichever keys took over the old
+        hot ranks.
+        """
         self._rng.shuffle(self._key_of_rank)
         self._rank_of_key = self._invert(self._key_of_rank)
         self.shuffle_count += 1
+        self._rebuild_boosts()
 
 
 class KeyShuffler:
@@ -103,3 +170,59 @@ class KeyShuffler:
             yield self.env.timeout(interval)
             self.distribution.shuffle()
             self.shuffle_times.append(self.env.now)
+
+
+@dataclasses.dataclass(frozen=True)
+class BurstEvent:
+    """One hotspot burst: at ``time`` the currently hottest ``top_n`` keys
+    get their frequency multiplied by ``factor`` for ``duration`` seconds."""
+
+    time: float
+    duration: float
+    factor: float
+    top_n: int = 1
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError("burst time must be >= 0")
+        if self.duration <= 0:
+            raise ValueError("burst duration must be positive")
+        if self.factor <= 0:
+            raise ValueError("burst factor must be positive")
+        if self.top_n < 1:
+            raise ValueError("burst top_n must be >= 1")
+
+
+class HotspotBurst:
+    """Simulation process driving scheduled hotspot bursts.
+
+    Each :class:`BurstEvent` resolves its target keys *at onset* (the
+    then-hottest keys), boosts them, and clears the boost after the
+    burst duration.  Because boosts track keys, a mid-burst shuffle
+    keeps the same keys hot (see :meth:`ZipfKeyDistribution.shuffle`).
+    """
+
+    def __init__(
+        self,
+        env: Environment,
+        distribution: ZipfKeyDistribution,
+        events: typing.Sequence[BurstEvent],
+    ) -> None:
+        self.env = env
+        self.distribution = distribution
+        self.events = sorted(events, key=lambda e: e.time)
+        #: (onset time, boosted keys, factor) per fired burst.
+        self.records: typing.List[typing.Tuple[float, typing.Tuple[int, ...], float]] = []
+
+    def start(self) -> None:
+        for event in self.events:
+            self.env.process(self._run(event))
+
+    def _run(self, event: BurstEvent) -> typing.Generator:
+        if event.time > 0:
+            yield self.env.timeout(event.time)
+        keys = tuple(self.distribution.hottest_keys(event.top_n))
+        self.distribution.boost(keys, event.factor)
+        self.records.append((self.env.now, keys, event.factor))
+        yield self.env.timeout(event.duration)
+        self.distribution.clear_boost(keys)

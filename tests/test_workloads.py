@@ -4,7 +4,10 @@ import pytest
 
 from repro.sim import Environment
 from repro.workloads import (
+    BurstEvent,
+    HotspotBurst,
     KeyShuffler,
+    ScheduledBurst,
     MicroBenchmarkWorkload,
     SSEWorkload,
     ZipfKeyDistribution,
@@ -215,3 +218,163 @@ class TestSSEWorkload:
             SSEWorkload(rate=0)
         with pytest.raises(ValueError):
             SSEWorkload(num_stocks=0)
+
+
+class TestZipfBoosts:
+    def test_boost_raises_key_probability(self):
+        dist = ZipfKeyDistribution(100, skew=0.5, seed=4)
+        cold = dist.hottest_keys(100)[-1]
+        before = dist.probability(cold)
+        dist.boost([cold], 50.0)
+        assert dist.probability(cold) > 5 * before
+        total = sum(dist.probability(k) for k in range(100))
+        assert total == pytest.approx(1.0)
+
+    def test_clear_boost_restores_base_distribution(self):
+        dist = ZipfKeyDistribution(40, skew=0.8, seed=4)
+        base = [dist.probability(k) for k in range(40)]
+        dist.boost([3, 7], 10.0)
+        dist.clear_boost()
+        assert [dist.probability(k) for k in range(40)] == base
+
+    def test_boost_validation(self):
+        dist = ZipfKeyDistribution(10, seed=1)
+        with pytest.raises(ValueError):
+            dist.boost([0], 0.0)
+        with pytest.raises(ValueError):
+            dist.boost([10], 2.0)
+
+    def test_boosts_survive_shuffle(self):
+        """Regression: boosts follow KEYS, not ranks, across a shuffle.
+
+        Before the fix, shuffle() rebuilt only the base cumulative table
+        and kept sampling from a stale boosted table, so a mid-burst
+        shuffle silently moved the burst onto whichever keys inherited
+        the old ranks."""
+        dist = ZipfKeyDistribution(200, skew=0.6, seed=11)
+        cold = dist.hottest_keys(200)[-1]
+        dist.boost([cold], 200.0)
+        boosted_before = dist.probability(cold)
+        dist.shuffle()
+        # The boosted key keeps (approximately) its boosted probability
+        # even though its base rank changed.
+        assert dist.probability(cold) == pytest.approx(boosted_before, rel=0.5)
+        samples = dist.sample(5_000)
+        assert samples.count(cold) > 0.05 * len(samples)
+        total = sum(dist.probability(k) for k in range(200))
+        assert total == pytest.approx(1.0)
+
+    def test_sampling_unaffected_when_no_boosts(self):
+        """The no-boost sample path must stay byte-identical."""
+        a = ZipfKeyDistribution(100, seed=9)
+        b = ZipfKeyDistribution(100, seed=9)
+        b.boost([0], 5.0)
+        b.clear_boost()
+        assert a.sample(200) == b.sample(200)
+
+
+class TestHotspotBurst:
+    def test_event_validation(self):
+        with pytest.raises(ValueError):
+            BurstEvent(time=-1.0, duration=5.0, factor=2.0)
+        with pytest.raises(ValueError):
+            BurstEvent(time=0.0, duration=0.0, factor=2.0)
+        with pytest.raises(ValueError):
+            BurstEvent(time=0.0, duration=5.0, factor=0.0)
+        with pytest.raises(ValueError):
+            BurstEvent(time=0.0, duration=5.0, factor=2.0, top_n=0)
+
+    def test_burst_fires_and_clears(self):
+        env = Environment()
+        dist = ZipfKeyDistribution(50, skew=0.7, seed=3)
+        base = [dist.probability(k) for k in range(50)]
+        burst = HotspotBurst(
+            env, dist, [BurstEvent(time=2.0, duration=3.0, factor=20.0)]
+        )
+        burst.start()
+        env.run(until=1.0)
+        assert burst.records == []
+        env.run(until=4.0)
+        assert len(burst.records) == 1
+        onset, keys, factor = burst.records[0]
+        assert onset == pytest.approx(2.0)
+        assert factor == 20.0
+        assert dist.probability(keys[0]) > 2 * base[keys[0]]
+        env.run(until=6.0)
+        assert [dist.probability(k) for k in range(50)] == base
+
+    def test_mid_burst_shuffle_keeps_same_keys_hot(self):
+        env = Environment()
+        dist = ZipfKeyDistribution(100, skew=0.6, seed=8)
+        burst = HotspotBurst(
+            env, dist, [BurstEvent(time=1.0, duration=10.0, factor=100.0, top_n=2)]
+        )
+        burst.start()
+        env.run(until=2.0)
+        (_, keys, _) = burst.records[0]
+        dist.shuffle()
+        hot_now = set(dist.hottest_keys(2))
+        assert hot_now == set(keys)
+
+
+class TestScheduledBurst:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScheduledBurst(start=-1.0, stock=0, magnitude=2.0)
+        with pytest.raises(ValueError):
+            ScheduledBurst(start=0.0, stock=-1, magnitude=2.0)
+        with pytest.raises(ValueError):
+            ScheduledBurst(start=0.0, stock=0, magnitude=0.0)
+        with pytest.raises(ValueError):
+            SSEWorkload(
+                num_stocks=10,
+                scheduled_bursts=[ScheduledBurst(start=0.0, stock=10, magnitude=2.0)],
+            )
+
+    def test_envelope_shape(self):
+        workload = SSEWorkload(
+            num_stocks=10,
+            burst_probability=0.0,
+            scheduled_bursts=[
+                ScheduledBurst(start=5.0, stock=2, magnitude=8.0, ramp=4.0, hold=6.0)
+            ],
+        )
+        env = workload._scheduled_envelope
+        assert env(2, 0.0) == 0.0
+        assert env(2, 7.0) == pytest.approx(4.0)  # halfway up the ramp
+        assert env(2, 10.0) == pytest.approx(8.0)  # holding
+        assert env(2, 15.0) == pytest.approx(8.0)  # end of hold
+        assert 0.0 < env(2, 17.0) < 8.0  # decaying
+        assert env(2, 500.0) == 0.0  # decayed below the floor, cut off
+        assert env(3, 10.0) == 0.0  # other stocks untouched
+
+    def test_scheduled_burst_consumes_no_rng(self):
+        """An empty burst list must leave the RNG stream untouched."""
+        quiet = SSEWorkload(num_stocks=20, burst_probability=0.0, seed=5)
+        scheduled = SSEWorkload(
+            num_stocks=20,
+            burst_probability=0.0,
+            seed=5,
+            scheduled_bursts=[
+                ScheduledBurst(start=2.0, stock=0, magnitude=4.0)
+            ],
+        )
+        quiet_rates = [quiet.stock_rate(1, t) for t in range(100)]
+        burst_rates = [scheduled.stock_rate(1, t) for t in range(100)]
+        # Stock 1 is never boosted: identical streams except for the
+        # normalization shift while stock 0's burst is active.
+        assert quiet_rates[:15] == burst_rates[:15]
+
+    def test_burst_raises_target_stock_rate(self):
+        workload = SSEWorkload(
+            rate=1000.0,
+            num_stocks=10,
+            burst_probability=0.0,
+            drift_sigma=0.0,
+            scheduled_bursts=[
+                ScheduledBurst(start=2.0, stock=4, magnitude=9.0, ramp=2.0, hold=20.0)
+            ],
+        )
+        before = workload.stock_rate(4, 10)  # t = 1.0 s, pre-burst
+        during = workload.stock_rate(4, 100)  # t = 10.0 s, holding
+        assert during > 5 * before
