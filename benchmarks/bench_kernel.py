@@ -1,8 +1,9 @@
 """Kernel micro-benchmark CLI: wall-clock events/sec and batches/sec.
 
-Runs the three canonical scenarios from :mod:`perf.harness` (micro,
-burst, faulted), prints a comparison against the pre-optimization
-reference kernel, and writes ``BENCH_kernel.json`` at the repo root.
+Runs the canonical scenarios from :mod:`perf.harness` (micro,
+micro_telemetry, burst, faulted), prints a comparison against the
+pre-optimization reference kernel, and writes ``BENCH_kernel.json`` at
+the repo root.
 
 Unlike the figure benchmarks (which measure *virtual-time* system
 behaviour), this measures the *simulator itself*: how fast the

@@ -17,6 +17,10 @@ Override knobs (both documented in docs/performance.md):
   (e.g. ``0.5`` allows a 50% drop — useful on slow CI runners).
 - ``REPRO_PERF_SKIP=1``: skip the speed check entirely (the behaviour
   check still runs; it is hardware-independent).
+- ``REPRO_PERF_TELEMETRY_OVERHEAD``: allowed fractional wall-clock cost
+  of the telemetry layer, measured as ``micro_telemetry`` vs ``micro``
+  within the *same* report (default 5%).  A same-machine ratio, so it
+  stays meaningful where absolute floors do not.
 
 Usage::
 
@@ -37,6 +41,42 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
 from perf.harness import BASELINE_PATH, RESULT_PATH  # noqa: E402
 
 DEFAULT_TOLERANCE = 0.30
+#: Telemetry-on vs telemetry-off wall-clock ratio allowed for ``micro``.
+DEFAULT_TELEMETRY_OVERHEAD = 0.05
+
+
+def check_telemetry_overhead(
+    report: dict, allowed: float, skip_speed: bool
+) -> list:
+    """``micro_telemetry`` may cost at most ``allowed`` over ``micro``.
+
+    Both scenarios come from the same report (same machine, same run), so
+    the ratio cancels hardware speed; only the instrumentation cost is
+    left.  Skipped unless both scenarios are present.
+    """
+    scenarios = report.get("scenarios", {})
+    plain = scenarios.get("micro")
+    instrumented = scenarios.get("micro_telemetry")
+    if plain is None or instrumented is None:
+        return []
+    overhead = instrumented["wall_seconds"] / plain["wall_seconds"] - 1.0
+    verdict = "ok"
+    failures = []
+    if overhead > allowed:
+        if skip_speed:
+            verdict = "SLOW (ignored: REPRO_PERF_SKIP)"
+        else:
+            verdict = "FAIL"
+            failures.append(
+                f"telemetry overhead {overhead:+.1%} exceeds the "
+                f"{allowed:.0%} budget (micro {plain['wall_seconds']:.3f}s "
+                f"-> micro_telemetry {instrumented['wall_seconds']:.3f}s)"
+            )
+    print(
+        f"{'telemetry':<10} overhead={overhead:+.1%} "
+        f"budget={allowed:.0%} {verdict}"
+    )
+    return failures
 
 
 def check(report: dict, baseline: dict, tolerance: float, skip_speed: bool) -> int:
@@ -69,6 +109,12 @@ def check(report: dict, baseline: dict, tolerance: float, skip_speed: bool) -> i
             f"{name:<10} events={row['events']:,} "
             f"rate={rate:,.0f}/s floor={floor:,.0f}/s {verdict}"
         )
+    allowed = float(
+        os.environ.get(
+            "REPRO_PERF_TELEMETRY_OVERHEAD", DEFAULT_TELEMETRY_OVERHEAD
+        )
+    )
+    failures.extend(check_telemetry_overhead(report, allowed, skip_speed))
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

@@ -8,6 +8,7 @@ Run single experiments or paradigm comparisons without writing code::
     python -m repro faults --fault-spec "node_crash@30:node=5"
     python -m repro run --telemetry-out out/run1 && python -m repro report out/run1
     python -m repro sweep spec.json --workers 8 --out out/sweep1
+    python -m repro diff out/run1 out/run2 --threshold 0.1
 
 ``--json`` switches any run-style command to machine-readable output;
 ``--telemetry-out DIR`` enables the telemetry layer and exports the
@@ -236,6 +237,53 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print(render_report(args.path, sparkline_width=args.width))
     return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    """Compare two runs (artifact dirs, summaries, BENCH reports) and
+    fail on direction-aware regressions past the threshold."""
+    from repro.telemetry.diff import DiffError, diff_paths, regressions
+
+    try:
+        deltas, markdown = diff_paths(
+            args.baseline,
+            args.candidate,
+            threshold=args.threshold,
+            min_abs=args.min_abs,
+            full=args.full,
+        )
+    except DiffError as exc:
+        print(f"repro diff: {exc}", file=sys.stderr)
+        return 2
+    failed = regressions(deltas)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(markdown)
+        print(f"... diff report written to {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(
+            {
+                "baseline": args.baseline,
+                "candidate": args.candidate,
+                "threshold": args.threshold,
+                "compared": len(deltas),
+                "regressions": [
+                    {
+                        "metric": d.key,
+                        "baseline": d.baseline,
+                        "candidate": d.candidate,
+                        "relative": d.relative,
+                        "direction": d.direction,
+                    }
+                    for d in failed
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        ))
+    else:
+        print(markdown, end="")
+    return 1 if failed else 0
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
@@ -488,6 +536,36 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--width", type=int, default=40,
                                help="sparkline width in the timeline table")
     report_parser.set_defaults(func=cmd_report)
+
+    diff_parser = sub.add_parser(
+        "diff",
+        help="compare two runs (telemetry dirs, --json summaries, or "
+             "BENCH_*.json) and fail on regressions past the threshold",
+    )
+    diff_parser.add_argument(
+        "baseline", help="baseline artifact: telemetry dir or JSON file"
+    )
+    diff_parser.add_argument(
+        "candidate", help="candidate artifact: telemetry dir or JSON file"
+    )
+    diff_parser.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="relative regression threshold (0.10 = 10%%, direction-aware)",
+    )
+    diff_parser.add_argument(
+        "--min-abs", type=float, default=1e-6,
+        help="ignore absolute deltas below this, whatever the relative "
+             "change (filters float noise on near-zero metrics)",
+    )
+    diff_parser.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the markdown report to FILE",
+    )
+    diff_parser.add_argument("--full", action="store_true",
+                             help="tabulate unchanged metrics too")
+    diff_parser.add_argument("--json", action="store_true",
+                             help="machine-readable regression list")
+    diff_parser.set_defaults(func=cmd_diff)
 
     lint_parser = sub.add_parser(
         "lint", help="run the repo's AST invariant checks"

@@ -44,7 +44,7 @@ class ElasticExecutor:
         "_receiver_sender", "_emitter_sender", "_remote_senders", "_control",
         "_balancer", "_shard_cost_accum", "_shard_load", "_downstream_groups",
         "_sink_recorder", "_started", "_enable_balancer", "_daemons", "alive",
-        "stall_factor", "operator_in_flight", "_san",
+        "stall_factor", "operator_in_flight", "_san", "latency_probe",
     )
 
     def __init__(
@@ -125,6 +125,9 @@ class ElasticExecutor:
         #: Shard-ownership race detector; None unless REPRO_SANITIZE is set
         #: (every hook site below is a single ``is not None`` test).
         self._san = ShardSanitizer.from_env(self.name, self.num_shards, env)
+        #: Per-shard end-to-end latency sketches; None unless telemetry is
+        #: enabled (the sink path pays a single ``is not None`` test).
+        self.latency_probe: typing.Optional[typing.Any] = None
 
     # -- wiring -----------------------------------------------------------
 
@@ -314,6 +317,9 @@ class ElasticExecutor:
         # must not count the batch as lost (and must not re-apply it).
         task.current_item = None
         if self.is_sink:
+            probe = self.latency_probe
+            if probe is not None:
+                probe.record(shard_id, now - batch.created_at, batch.count, now)
             if self._sink_recorder is not None:
                 self._sink_recorder(batch, now)
             return

@@ -193,7 +193,7 @@ class SourceInstance:
 
     __slots__ = (
         "env", "name", "index", "node_id", "sender", "_groups",
-        "emitted_tuples", "trace_every", "_emitted_batches",
+        "emitted_tuples", "trace_every", "_emitted_batches", "last_created",
     )
 
     def __init__(
@@ -217,6 +217,10 @@ class SourceInstance:
         #: Attach a latency-breakdown trace to every Nth batch (0 = off).
         self.trace_every = trace_every
         self._emitted_batches = 0
+        #: Ingest watermark: nominal creation time of the newest batch
+        #: emitted.  ``env.now - last_created`` is this source's schedule
+        #: lag under backpressure (gauged by telemetry).
+        self.last_created = 0.0
 
     def connect(self, downstream_groups: typing.Sequence[typing.Any]) -> None:
         self._groups = list(downstream_groups)
@@ -251,6 +255,7 @@ class SourceInstance:
             if emit_time > now:
                 yield Timeout(env, emit_time - now)
             batch.admitted_at = env._now
+            self.last_created = batch.created_at
             self._emitted_batches += 1
             if trace_every and self._emitted_batches % trace_every == 0:
                 batch.trace = {

@@ -169,6 +169,9 @@ class RCExecutor:
         self.manager.in_flight.decrement()
         task.current_item = None
         if self.is_sink:
+            probe = self.manager.latency_probe
+            if probe is not None:
+                probe.record(shard_id, now - batch.created_at, batch.count, now)
             if self._sink_recorder is not None:
                 self._sink_recorder(batch, now)
         else:
@@ -243,7 +246,7 @@ class RCOperatorManager:
         "_upstream_instances", "_balancer", "_shard_cost_accum",
         "_shard_load", "_next_index", "_downstream_groups",
         "_sink_recorder", "target_executors_fn", "_placement_cursor",
-        "repartition_count", "_protocol_lock", "_recovering",
+        "repartition_count", "_protocol_lock", "_recovering", "latency_probe",
     )
 
     def __init__(
@@ -283,6 +286,9 @@ class RCOperatorManager:
         self._next_index = 0
         self._downstream_groups: typing.List[typing.Any] = []
         self._sink_recorder: typing.Optional[typing.Callable] = None
+        #: Per-shard end-to-end latency sketches shared by this operator's
+        #: executors; None unless telemetry is enabled.
+        self.latency_probe: typing.Optional[typing.Any] = None
         #: Injected policy: manager -> desired executor count (or None).
         self.target_executors_fn: typing.Optional[typing.Callable] = None
         #: Node placement cursor for new executors (round robin).

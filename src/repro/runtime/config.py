@@ -99,6 +99,16 @@ class SystemConfig:
     #: Sample per-shard load series too (per-executor series are always
     #: sampled when telemetry is on).
     telemetry_per_shard: bool = True
+    #: Relative-error bound of the per-tuple latency sketches
+    #: (:mod:`repro.telemetry.sketch`): reported p50/p95/p99 are within
+    #: this fraction of the exact sorted-percentile answer.
+    telemetry_sketch_accuracy: float = 0.01
+    #: Flight-recorder ring capacity: the most recent events/spans/samples
+    #: kept for the post-mortem dump (telemetry runs only).
+    flight_recorder_capacity: int = 1024
+    #: Directory the post-mortem lands in when the run dies (overridable
+    #: with the ``REPRO_FLIGHT_DIR`` environment variable).
+    flight_recorder_dir: str = "flight-recorder"
 
     def __post_init__(self) -> None:
         if self.num_nodes < 1 or self.cores_per_node < 1:
@@ -132,6 +142,10 @@ class SystemConfig:
             raise ValueError("telemetry_sample_interval must be positive")
         if self.telemetry_ring_capacity < 8:
             raise ValueError("telemetry_ring_capacity must be >= 8")
+        if not 0.0 < self.telemetry_sketch_accuracy < 1.0:
+            raise ValueError("telemetry_sketch_accuracy must be in (0, 1)")
+        if self.flight_recorder_capacity < 1:
+            raise ValueError("flight_recorder_capacity must be >= 1")
         if self.detection_delay < 0:
             raise ValueError("detection_delay must be >= 0")
         if self.state_rebuild_bytes_per_s <= 0:

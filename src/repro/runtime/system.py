@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import copy
 import dataclasses
+import os
 import typing
 
 from repro.cluster import Cluster, TransferPurpose
@@ -232,6 +233,8 @@ class StreamSystem:
             sample_interval=self.config.telemetry_sample_interval,
             ring_capacity=self.config.telemetry_ring_capacity,
             per_shard=self.config.telemetry_per_shard,
+            sketch_accuracy=self.config.telemetry_sketch_accuracy,
+            flight_capacity=self.config.flight_recorder_capacity,
         )
         self.telemetry.attach(self)
         self._build()
@@ -280,6 +283,7 @@ class StreamSystem:
                 nodes = self._place_on_free_cores(spec.num_executors)
                 manager.bootstrap(spec.num_executors, nodes)
                 manager.target_executors_fn = self._make_rc_policy(manager)
+                manager.latency_probe = self.telemetry.probe(spec.name)
                 self.rc_managers[spec.name] = manager
                 self.executors_by_operator[spec.name] = manager.executors
                 groups[spec.name] = RCGroup(spec.name, manager)
@@ -302,6 +306,7 @@ class StreamSystem:
                         config=config.executor,
                         reassignment_stats=self.reassignment_stats,
                     )
+                    executor.latency_probe = self.telemetry.probe(executor.name)
                     self.cluster.cores.allocate(executor.name, node, 1)
                     executor.start(initial_cores=1)
                     executors.append(executor)
@@ -431,6 +436,7 @@ class StreamSystem:
                 reassignment_stats=self.reassignment_stats,
             )
             executor.connect(downstream_groups, recorder)
+            executor.latency_probe = self.telemetry.probe(executor.name)
             self.cluster.cores.allocate(executor.name, node, 1)
             executor.start(initial_cores=1)
             self.executors_by_operator[spec.name].append(executor)
@@ -598,10 +604,27 @@ class StreamSystem:
                 )
             )
         self.env.process(self._sampler())
+        self.telemetry.set_warmup(self._warmup)
         self.telemetry.start()
         if self.fault_injector is not None:
             self.fault_injector.start()
-        self.env.run(until=duration)
+        try:
+            self.env.run(until=duration)
+        except BaseException as exc:
+            # Post-mortem: anything escaping the simulation loop — a
+            # fault-coordinator abort, a REPRO_SANITIZE violation, a bug —
+            # dumps the flight ring before propagating (no-op when
+            # telemetry is off).
+            self.telemetry.flight_dump(
+                os.environ.get("REPRO_FLIGHT_DIR", self.config.flight_recorder_dir),
+                reason=f"{type(exc).__name__}: {exc}",
+                meta={
+                    "paradigm": self.config.paradigm.value,
+                    "virtual_time": self.env.now,
+                    "duration": duration,
+                },
+            )
+            raise
         return self.result(duration)
 
     def result(self, duration: float) -> SystemResult:

@@ -226,6 +226,36 @@ class SweepResult:
     def failures(self) -> typing.List[TrialRecord]:
         return [r for r in self.records if r.status != "ok"]
 
+    def merged_sketch(self, dotted_path: str) -> typing.Optional[typing.Any]:
+        """Merge one latency sketch out of every ok trial's result.
+
+        ``dotted_path`` navigates each record's result dict to a
+        serialized :class:`~repro.telemetry.sketch.QuantileSketch`
+        payload (or a :class:`~repro.telemetry.sketch.LatencyProbe`
+        payload, whose ``merged`` sub-sketch is then taken) — e.g.
+        ``"latency_sketch"`` or ``"probes.sink"``.  Sketches are exactly
+        mergeable, so the result is identical whether the sweep ran
+        serially or fanned out over workers.  Trials that failed or lack
+        the path are skipped; returns ``None`` when nothing merged.
+        """
+        from repro.telemetry.sketch import PAYLOAD_KIND, merge_payloads
+
+        payloads: typing.List[typing.Mapping[str, typing.Any]] = []
+        for record in self.records:
+            if record.status != "ok" or not isinstance(record.result, dict):
+                continue
+            node: typing.Any = record.result
+            for part in dotted_path.split("."):
+                if not isinstance(node, dict) or part not in node:
+                    node = None
+                    break
+                node = node[part]
+            if isinstance(node, dict) and node.get("kind") != PAYLOAD_KIND:
+                node = node.get("merged")  # probe payload -> its sketch
+            if isinstance(node, dict) and node.get("kind") == PAYLOAD_KIND:
+                payloads.append(node)
+        return merge_payloads(payloads)
+
     def summary_dict(self) -> typing.Dict[str, typing.Any]:
         return {
             "spec": self.spec_name,

@@ -8,11 +8,17 @@ The observability layer of the reproduction (see ``docs/observability.md``):
   coordinator.
 - :class:`MetricRegistry` / :class:`RingSeries` — per-executor and
   per-shard series sampled on a configurable interval.
+- :class:`QuantileSketch` / :class:`LatencyProbe` — deterministic,
+  mergeable, fixed-memory per-tuple latency sketches recorded in the
+  executor delivery path (:mod:`repro.telemetry.sketch`).
+- :class:`FlightRecorder` — bounded ring of recent telemetry, dumped as
+  a JSONL post-mortem when a run dies (:mod:`repro.telemetry.flight`).
 - :class:`Telemetry` — the per-run facade a
   :class:`~repro.runtime.system.StreamSystem` owns.
 
-Exporters (:mod:`repro.telemetry.exporters`) and the run report
-(:mod:`repro.telemetry.report`) are imported lazily by the CLI and the
+Exporters (:mod:`repro.telemetry.exporters`), the run report
+(:mod:`repro.telemetry.report`) and the regression differ
+(:mod:`repro.telemetry.diff`) are imported lazily by the CLI and the
 benchmarks; they are deliberately not re-exported here to keep this
 package import-light (the sim kernel imports it).
 """
@@ -26,14 +32,19 @@ from repro.telemetry.events import (
     Span,
     TelemetryEvent,
 )
+from repro.telemetry.flight import FlightRecorder
 from repro.telemetry.registry import MetricRegistry, RingSeries
+from repro.telemetry.sketch import LatencyProbe, QuantileSketch
 
 __all__ = [
     "EventBus",
+    "FlightRecorder",
+    "LatencyProbe",
     "MetricRegistry",
     "NULL_BUS",
     "NULL_SPAN",
     "NullEventBus",
+    "QuantileSketch",
     "RingSeries",
     "Span",
     "Telemetry",

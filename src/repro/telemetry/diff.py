@@ -1,0 +1,264 @@
+"""``repro diff``: compare two runs and flag regressions.
+
+Compares any two telemetry artifacts — exported run directories
+(``summary.json`` + ``sketches.json``), bare ``--json`` run summaries, or
+``BENCH_*.json`` benchmark reports — by flattening each to dotted numeric
+leaves and computing per-metric deltas.  The comparison knows which
+direction is bad for the metrics that matter (latency up = regression,
+throughput down = regression); everything else is reported as neutral
+and never fails the diff.
+
+The rendered markdown is deterministic: identical inputs produce
+byte-identical reports (no timestamps, no environment), so CI can diff
+the diff.  Keys containing ``wall`` are excluded entirely — wall-clock
+measurements vary run to run on shared runners and would make every
+comparison noisy.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import typing
+
+#: Metrics where an increase is a regression (substring match on the
+#: dotted path, case-insensitive).
+HIGHER_IS_WORSE = (
+    "latency",
+    "residence",
+    "p50",
+    "p95",
+    "p99",
+    "downtime",
+    "steady_state",
+    "lost",
+    "sojourn",
+    "backpressure",
+    "queue",
+    "incomplete",
+)
+
+#: Metrics where a decrease is a regression.
+LOWER_IS_WORSE = (
+    "throughput",
+    "per_sec",
+    "processed",
+    "generated",
+)
+
+#: Paths containing any of these are dropped before comparison: they
+#: measure the host, not the system under test.
+EXCLUDED = ("wall",)
+
+DEFAULT_THRESHOLD = 0.10
+#: Absolute deltas below this never count as regressions, whatever the
+#: relative change — 1 µs of latency or a fraction of a tuple is noise.
+DEFAULT_MIN_ABS = 1e-6
+
+
+class DiffError(ValueError):
+    """Raised when an input cannot be loaded as a comparable artifact."""
+
+
+def load_metrics(path: typing.Union[str, pathlib.Path]) -> typing.Dict[str, float]:
+    """Flatten one artifact into ``dotted.path -> value``.
+
+    Accepts an exported artifact directory (reads ``summary.json`` and,
+    when present, the per-probe summaries of ``sketches.json``), or any
+    JSON file of nested dicts/lists with numeric leaves (a ``--json``
+    run summary, a ``BENCH_*.json`` report).
+    """
+    source = pathlib.Path(path)
+    if source.is_dir():
+        summary_path = source / "summary.json"
+        if not summary_path.exists():
+            raise DiffError(f"{source} is a directory without summary.json")
+        metrics = _flatten(_load_json(summary_path))
+        sketches_path = source / "sketches.json"
+        if sketches_path.exists():
+            probes = _load_json(sketches_path).get("probes", {})
+            for name, payload in probes.items():
+                for stat, value in payload.get("summary", {}).items():
+                    metrics[f"sketches.{name}.{stat}"] = float(value)
+        return _excluded_dropped(metrics)
+    if not source.exists():
+        raise DiffError(f"no such file or directory: {source}")
+    return _excluded_dropped(_flatten(_load_json(source)))
+
+
+def _load_json(path: pathlib.Path) -> typing.Any:
+    try:
+        return json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise DiffError(f"{path} is not valid JSON: {exc}") from exc
+
+
+def _flatten(
+    node: typing.Any, prefix: str = ""
+) -> typing.Dict[str, float]:
+    out: typing.Dict[str, float] = {}
+    if isinstance(node, dict):
+        for key in node:
+            child = f"{prefix}.{key}" if prefix else str(key)
+            out.update(_flatten(node[key], child))
+    elif isinstance(node, list):
+        for index, item in enumerate(node):
+            child = f"{prefix}.{index}" if prefix else str(index)
+            out.update(_flatten(item, child))
+    elif isinstance(node, bool):
+        out[prefix] = 1.0 if node else 0.0
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def _excluded_dropped(metrics: typing.Dict[str, float]) -> typing.Dict[str, float]:
+    return {
+        key: value
+        for key, value in metrics.items()
+        if not any(marker in key.lower() for marker in EXCLUDED)
+    }
+
+
+def direction(key: str) -> str:
+    """``higher-worse`` / ``lower-worse`` / ``neutral`` for a metric path."""
+    lowered = key.lower()
+    if any(marker in lowered for marker in HIGHER_IS_WORSE):
+        return "higher-worse"
+    if any(marker in lowered for marker in LOWER_IS_WORSE):
+        return "lower-worse"
+    return "neutral"
+
+
+class MetricDelta(typing.NamedTuple):
+    key: str
+    baseline: typing.Optional[float]
+    candidate: typing.Optional[float]
+    direction: str
+    relative: float
+    regression: bool
+
+
+def compare(
+    baseline: typing.Dict[str, float],
+    candidate: typing.Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs: float = DEFAULT_MIN_ABS,
+) -> typing.List[MetricDelta]:
+    """Per-metric deltas, sorted by path; regressions flagged.
+
+    A metric regresses when its relative change exceeds ``threshold`` in
+    the bad direction AND the absolute change exceeds ``min_abs``.
+    Metrics present on only one side are reported (direction ``neutral``
+    unless classifiable) but never regress — schema growth between
+    versions is expected.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    deltas: typing.List[MetricDelta] = []
+    for key in sorted(set(baseline) | set(candidate)):
+        before = baseline.get(key)
+        after = candidate.get(key)
+        rule = direction(key)
+        if before is None or after is None:
+            deltas.append(MetricDelta(key, before, after, rule, 0.0, False))
+            continue
+        change = after - before
+        denominator = abs(before) if abs(before) > 1e-12 else 1e-12
+        relative = change / denominator
+        regression = False
+        if abs(change) >= min_abs:
+            if rule == "higher-worse" and relative > threshold:
+                regression = True
+            elif rule == "lower-worse" and relative < -threshold:
+                regression = True
+        deltas.append(MetricDelta(key, before, after, rule, relative, regression))
+    return deltas
+
+
+def regressions(deltas: typing.Sequence[MetricDelta]) -> typing.List[MetricDelta]:
+    return [delta for delta in deltas if delta.regression]
+
+
+def _format_value(value: typing.Optional[float]) -> str:
+    if value is None:
+        return "—"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_markdown(
+    deltas: typing.Sequence[MetricDelta],
+    baseline_name: str,
+    candidate_name: str,
+    threshold: float = DEFAULT_THRESHOLD,
+    full: bool = False,
+) -> str:
+    """Deterministic markdown comparison report.
+
+    By default only changed metrics are tabulated (plus a one-line count
+    of unchanged ones); ``full=True`` lists everything.
+    """
+    failed = regressions(deltas)
+    lines = [
+        "# repro diff",
+        "",
+        f"- baseline: `{baseline_name}`",
+        f"- candidate: `{candidate_name}`",
+        f"- threshold: {threshold:.0%} (direction-aware)",
+        f"- metrics compared: {len(deltas)}",
+        f"- regressions: **{len(failed)}**",
+        "",
+    ]
+    changed = [d for d in deltas if full or d.relative != 0.0 or d.regression
+               or d.baseline is None or d.candidate is None]
+    if changed:
+        lines.append("| metric | baseline | candidate | Δ% | direction | status |")
+        lines.append("|---|---:|---:|---:|---|---|")
+        for delta in changed:
+            if delta.baseline is None:
+                status = "added"
+                relative = "—"
+            elif delta.candidate is None:
+                status = "removed"
+                relative = "—"
+            else:
+                status = "REGRESSION" if delta.regression else "ok"
+                relative = f"{delta.relative:+.2%}"
+            lines.append(
+                f"| `{delta.key}` | {_format_value(delta.baseline)} "
+                f"| {_format_value(delta.candidate)} | {relative} "
+                f"| {delta.direction} | {status} |"
+            )
+    unchanged = len(deltas) - len(changed)
+    if unchanged > 0:
+        lines.append("")
+        lines.append(f"{unchanged} metric(s) unchanged.")
+    lines.append("")
+    if failed:
+        lines.append(f"**FAIL** — {len(failed)} regression(s) past the threshold.")
+    else:
+        lines.append("**PASS** — no regressions past the threshold.")
+    return "\n".join(lines) + "\n"
+
+
+def diff_paths(
+    baseline_path: typing.Union[str, pathlib.Path],
+    candidate_path: typing.Union[str, pathlib.Path],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_abs: float = DEFAULT_MIN_ABS,
+    full: bool = False,
+) -> typing.Tuple[typing.List[MetricDelta], str]:
+    """Load, compare and render two artifacts: ``(deltas, markdown)``."""
+    baseline = load_metrics(baseline_path)
+    candidate = load_metrics(candidate_path)
+    deltas = compare(baseline, candidate, threshold=threshold, min_abs=min_abs)
+    markdown = render_markdown(
+        deltas,
+        str(baseline_path),
+        str(candidate_path),
+        threshold=threshold,
+        full=full,
+    )
+    return deltas, markdown

@@ -6,6 +6,7 @@ One run exports into one directory::
     series.csv     name,labels,time,value rows for every registered series
     metrics.prom   Prometheus-style text snapshot of final values
     summary.json   ``SystemResult.to_dict()`` — the machine-readable summary
+    sketches.json  per-operator latency-sketch payloads (runs with probes)
 
 ``repro report DIR`` (see :mod:`repro.telemetry.report`) renders a human
 summary from these artifacts alone — no rerun, no access to the live
@@ -28,6 +29,10 @@ EVENTS_FILE = "events.jsonl"
 SERIES_FILE = "series.csv"
 PROM_FILE = "metrics.prom"
 SUMMARY_FILE = "summary.json"
+SKETCHES_FILE = "sketches.json"
+
+#: The Prometheus family name for per-tuple end-to-end latency sketches.
+LATENCY_FAMILY = "repro_tuple_latency_seconds"
 
 
 def _json_default(value: typing.Any) -> typing.Any:
@@ -47,7 +52,13 @@ def export_run(
     out.mkdir(parents=True, exist_ok=True)
     write_events_jsonl(out / EVENTS_FILE, telemetry.bus, meta=meta)
     write_series_csv(out / SERIES_FILE, telemetry.registry)
-    write_prometheus(out / PROM_FILE, telemetry.registry, summary=summary)
+    payload_fn = getattr(telemetry, "sketches_payload", None)
+    sketches = payload_fn() if payload_fn is not None else {}
+    write_prometheus(
+        out / PROM_FILE, telemetry.registry, summary=summary, sketches=sketches
+    )
+    if sketches:
+        write_sketches(out / SKETCHES_FILE, sketches)
     if summary is not None:
         (out / SUMMARY_FILE).write_text(
             json.dumps(summary, indent=2, sort_keys=True, default=_json_default)
@@ -89,25 +100,92 @@ def write_series_csv(
                 writer.writerow([series.name, labels, repr(time), repr(value)])
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules:
+    backslash, double quote, and newline must be backslash-escaped."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: typing.Iterable[typing.Tuple[str, str]]) -> str:
+    return ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in labels)
+
+
+def write_sketches(
+    path: typing.Union[str, pathlib.Path],
+    sketches: typing.Dict[str, typing.Any],
+) -> None:
+    """Per-operator latency-sketch payloads (``Telemetry.sketches_payload``).
+
+    A separate artifact on purpose: ``summary.json`` keeps one schema
+    whether telemetry is on or off (the bit-identical-results invariant),
+    while sketches only exist on instrumented runs.
+    """
+    pathlib.Path(path).write_text(
+        json.dumps(
+            {"version": ARTIFACT_VERSION, "probes": sketches},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+
+
+def load_sketches(
+    path: typing.Union[str, pathlib.Path],
+) -> typing.Dict[str, typing.Any]:
+    """``probe name -> payload`` from a ``sketches.json`` file."""
+    data = json.loads(pathlib.Path(path).read_text())
+    probes = data.get("probes", {})
+    return dict(probes)
+
+
 def write_prometheus(
     path: typing.Union[str, pathlib.Path],
     registry: typing.Any,
     summary: typing.Optional[typing.Dict[str, typing.Any]] = None,
+    sketches: typing.Optional[typing.Dict[str, typing.Any]] = None,
 ) -> None:
-    """Final-value snapshot in the Prometheus text exposition format."""
+    """Final-value snapshot in the Prometheus text exposition format.
+
+    Every family gets a ``# TYPE`` line and escaped label values; the
+    latency sketches render as one ``summary`` family with ``quantile``
+    labels plus ``_count``/``_sum`` children (promtool conventions).
+    """
     lines: typing.List[str] = []
-    for name, by_labels in registry.snapshot().items():
+    by_name: typing.Dict[str, typing.List[typing.Any]] = {}
+    for series in registry.all_series():
+        if series.last is not None:
+            by_name.setdefault(series.name, []).append(series)
+    for name in sorted(by_name):
         metric = f"repro_{name}"
         lines.append(f"# TYPE {metric} gauge")
-        for label_text, value in sorted(by_labels.items()):
-            if label_text:
-                rendered = ",".join(
-                    f'{part.split("=", 1)[0]}="{part.split("=", 1)[1]}"'
-                    for part in label_text.split(",")
-                )
-                lines.append(f"{metric}{{{rendered}}} {value:g}")
+        for series in by_name[name]:
+            rendered = _render_labels(series.labels)
+            if rendered:
+                lines.append(f"{metric}{{{rendered}}} {series.last:g}")
             else:
-                lines.append(f"{metric} {value:g}")
+                lines.append(f"{metric} {series.last:g}")
+    if sketches:
+        lines.append(f"# TYPE {LATENCY_FAMILY} summary")
+        for probe_name in sorted(sketches):
+            payload = sketches[probe_name]
+            stats = payload["summary"]
+            operator = _escape_label_value(str(probe_name))
+            for quantile, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+                lines.append(
+                    f'{LATENCY_FAMILY}{{operator="{operator}",quantile="{quantile}"}}'
+                    f" {float(stats[key]):g}"
+                )
+            lines.append(
+                f'{LATENCY_FAMILY}_count{{operator="{operator}"}}'
+                f" {float(payload['count']):g}"
+            )
+            lines.append(
+                f'{LATENCY_FAMILY}_sum{{operator="{operator}"}}'
+                f" {float(payload['merged']['sum']):g}"
+            )
     if summary:
         for key in ("throughput_tps", "processed_tuples", "generated_tuples"):
             if key in summary:
@@ -130,6 +208,9 @@ class RunArtifact:
     series_rows: typing.List[typing.Tuple[str, str, float, float]] = dataclasses.field(
         default_factory=list
     )
+    #: probe name -> sketch payload (``sketches.json``; empty when the
+    #: run had no latency probes).
+    sketches: typing.Dict[str, typing.Any] = dataclasses.field(default_factory=dict)
 
     def spans_named(self, name: str) -> typing.List[Span]:
         return [s for s in self.spans if s.name == name]
@@ -172,6 +253,9 @@ def load_artifact(path: typing.Union[str, pathlib.Path]) -> RunArtifact:
     summary_path = path / SUMMARY_FILE
     if summary_path.exists():
         artifact.summary = json.loads(summary_path.read_text())
+    sketches_path = path / SKETCHES_FILE
+    if sketches_path.exists():
+        artifact.sketches = load_sketches(sketches_path)
     series_path = path / SERIES_FILE
     if series_path.exists():
         with open(series_path, newline="") as fh:

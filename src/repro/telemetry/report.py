@@ -9,6 +9,7 @@ offline report are one code path.
 
 from __future__ import annotations
 
+import math
 import typing
 
 from repro.telemetry.events import Span, TelemetryEvent
@@ -82,10 +83,19 @@ def phase_breakdown(
 
 
 def percentile(sorted_values: typing.Sequence[float], q: float) -> float:
-    """Nearest-rank percentile over an already-sorted sequence."""
-    if not sorted_values:
+    """Nearest-rank percentile over an already-sorted sequence.
+
+    The nearest-rank definition: the smallest value with at least
+    ``q * n`` observations at or below it — index ``ceil(q * n) - 1``,
+    clamped to the valid range so q=0.0 gives the minimum and q=1.0 the
+    maximum (a singleton returns its only element at every q).  This is
+    the exact oracle :class:`repro.telemetry.sketch.QuantileSketch` is
+    property-tested against, so the two must share one rank convention.
+    """
+    n = len(sorted_values)
+    if n == 0:
         return 0.0
-    rank = max(0, min(len(sorted_values) - 1, int(q * len(sorted_values))))
+    rank = max(0, min(n - 1, math.ceil(q * n) - 1))
     return sorted_values[rank]
 
 
@@ -212,6 +222,22 @@ def render_report(
     head.append(f"events / spans      : {len(artifact.events)} / {len(artifact.spans)}")
     sections.append("\n".join(head))
 
+    # Per-tuple end-to-end latency from the mergeable sketches (exact
+    # counts, percentiles within the sketch's relative-error bound).
+    if artifact.sketches:
+        table = ResultTable(
+            "per-tuple end-to-end latency (sketch, ms)",
+            ["operator", "tuples", "mean", "p50", "p95", "p99", "max"],
+        )
+        for name in sorted(artifact.sketches):
+            stats = artifact.sketches[name]["summary"]
+            table.add_row(
+                name, int(stats["count"]), stats["mean"] * 1e3,
+                stats["p50"] * 1e3, stats["p95"] * 1e3, stats["p99"] * 1e3,
+                stats["max"] * 1e3,
+            )
+        sections.append(table.render())
+
     # Figure-8-style reassignment latency breakdown.
     if _reassignment_events(artifact):
         table = ResultTable(
@@ -320,4 +346,8 @@ def report_dict(
         },
         "span_histogram": span_histogram(artifact.spans),
         "recovery": recovery_timeline(artifact),
+        "sketches": {
+            name: payload["summary"]
+            for name, payload in sorted(artifact.sketches.items())
+        },
     }

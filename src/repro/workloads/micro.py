@@ -56,6 +56,9 @@ class MicroBenchmarkWorkload:
         self.distribution = ZipfKeyDistribution(num_keys, skew, seed=seed)
         self.burst_generator: typing.Optional[HotspotBurst] = None
         self.generated_tuples = 0
+        #: Generator-side ingest watermark: newest nominal creation time
+        #: drawn by any instance (the stamp the latency probes trace).
+        self.last_created = 0.0
 
     def build_topology(
         self,
@@ -123,6 +126,8 @@ class MicroBenchmarkWorkload:
                 spacing = tick / num_batches
                 for j, key in enumerate(keys):
                     created = tick_start + j * spacing
+                    if created > self.last_created:
+                        self.last_created = created
                     self.generated_tuples += batch_size
                     yield created, TupleBatch(
                         key, batch_size, cost_per_tuple, tuple_bytes, created

@@ -61,6 +61,12 @@ class RecordedWorkload:
         self.generated_tuples = generated_tuples
         #: The workload this recording came from (for provenance).
         self.source = source
+        #: Generator-side ingest watermark: newest nominal creation time
+        #: in the recording (known up front — the recording is complete).
+        self.last_created = max(
+            (batch.created_at for schedule in self._schedules for batch in schedule),
+            default=0.0,
+        )
 
     @property
     def num_instances(self) -> int:

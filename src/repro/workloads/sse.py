@@ -132,6 +132,9 @@ class SSEWorkload:
         ]
         self._next_order_id = 0
         self.generated_tuples = 0
+        #: Generator-side ingest watermark: newest nominal creation time
+        #: drawn by any instance (the stamp the latency probes trace).
+        self.last_created = 0.0
         #: tick index -> {stock: tuples generated} (drives Figure 15).
         self.arrival_counts: typing.Dict[int, typing.Dict[int, int]] = {}
 
@@ -250,6 +253,8 @@ class SSEWorkload:
                 counts = self.arrival_counts.setdefault(tick_index, {})
                 for j, stock in enumerate(stocks):
                     created = tick_start + j * spacing
+                    if created > self.last_created:
+                        self.last_created = created
                     counts[stock] = counts.get(stock, 0) + self.batch_size
                     self.generated_tuples += self.batch_size
                     payload = (

@@ -1,0 +1,39 @@
+"""Fixture: unguarded probe / flight-recorder calls in a hot module.
+
+Trips TEL001 check 3 three ways: a direct attribute call, an unguarded
+local alias, and a call guarded by the *wrong* name.  The guarded
+variants at the bottom are clean and must not be flagged.
+"""
+
+
+class Operator:
+    __slots__ = ("latency_probe", "flight", "count")
+
+    def __init__(self):
+        self.latency_probe = None
+        self.flight = None
+        self.count = 0
+
+    def deliver_direct(self, shard_id, latency, now):
+        # BAD: direct call on the optional attribute, no guard.
+        self.latency_probe.record(shard_id, latency, 1, now)
+
+    def deliver_alias(self, shard_id, latency, now):
+        probe = self.latency_probe
+        # BAD: alias bound but never checked against None.
+        probe.record(shard_id, latency, 1, now)
+
+    def annotate(self, now):
+        recorder = self.flight
+        if self.count > 0:
+            # BAD: guarded by the wrong condition, not `is not None`.
+            recorder.note(now, "tick", count=self.count)
+
+    def deliver_guarded(self, shard_id, latency, now):
+        probe = self.latency_probe
+        if probe is not None:
+            probe.record(shard_id, latency, 1, now)
+
+    def annotate_guarded(self, now):
+        if self.flight is not None:
+            self.flight.note(now, "tick", count=self.count)

@@ -48,6 +48,22 @@ class TestFixturesTripRules:
         assert rules_of(findings) == {"TEL001"}
         assert len(findings) == 3
 
+    def test_tel001_probe_guard_fixture(self):
+        findings = lint_fixture("repro/executors/tel001_probe_bad.py")
+        assert rules_of(findings) == {"TEL001"}
+        # direct attribute call, unguarded alias, wrong-condition guard;
+        # the two `is not None` variants in the fixture stay clean.
+        assert len(findings) == 3
+        assert all("unguarded in a hot module" in f.message for f in findings)
+
+    def test_tel001_probe_guard_is_hot_module_scoped(self, tmp_path):
+        source = (
+            FIXTURES / "repro" / "executors" / "tel001_probe_bad.py"
+        ).read_text()
+        cold = tmp_path / "cold_module.py"
+        cold.write_text(source)
+        assert run_lint([str(cold)]) == []
+
     def test_proto001_fixture(self):
         findings = lint_fixture("repro/executors/proto001_bad.py")
         assert rules_of(findings) == {"PROTO001"}

@@ -64,6 +64,19 @@ def keys_fn(params):
     return {"keys": sorted(params)}
 
 
+def sketch_fn(params):
+    """Ship a deterministic latency sketch home, keyed off the seed."""
+    from repro.telemetry.sketch import QuantileSketch
+
+    if params["workload_args"].get("crash"):
+        raise RuntimeError("boom")
+    sketch = QuantileSketch(relative_accuracy=0.01)
+    seed = params["seed"]
+    for i in range(100):
+        sketch.add(0.001 * (seed * 100 + i + 1))
+    return {"seed": seed, "latency_sketch": sketch.to_dict()}
+
+
 def tiny(seed=1, **knobs):
     """A trial whose identity varies with ``seed`` and the knobs."""
     return TrialConfig(
@@ -374,6 +387,39 @@ class TestParallel:
         ).run()
         assert sorted(seen) == [(1, 3, "ok", False), (2, 3, "ok", False),
                                 (3, 3, "ok", False)]
+
+
+class TestMergedSketch:
+    def test_merges_across_trials(self):
+        spec = SweepSpec("s", [tiny(seed=s) for s in (1, 2, 3)])
+        result = SweepRunner(spec, trial_fn=sketch_fn).run()
+        merged = result.merged_sketch("latency_sketch")
+        assert merged is not None
+        assert merged.count == 300
+        # The merged extremes span every worker's contribution.
+        assert merged.quantile(0.0) == pytest.approx(0.101, rel=0.02)
+        assert merged.quantile(1.0) == pytest.approx(0.400, rel=0.02)
+
+    def test_parallel_merge_matches_serial(self):
+        spec = SweepSpec("s", [tiny(seed=s) for s in (1, 2, 3, 4)])
+        serial = SweepRunner(spec, trial_fn=sketch_fn).run()
+        parallel = SweepRunner(spec, workers=2, trial_fn=sketch_fn).run()
+        assert (
+            serial.merged_sketch("latency_sketch").to_dict()
+            == parallel.merged_sketch("latency_sketch").to_dict()
+        )
+
+    def test_failed_trials_are_skipped(self):
+        spec = SweepSpec("s", [tiny(seed=1), tiny(seed=2, crash=True)])
+        result = SweepRunner(spec, trial_fn=sketch_fn, retries=0).run()
+        merged = result.merged_sketch("latency_sketch")
+        assert merged is not None
+        assert merged.count == 100
+
+    def test_missing_path_returns_none(self):
+        spec = SweepSpec("s", [tiny(seed=1)])
+        result = SweepRunner(spec, trial_fn=sketch_fn).run()
+        assert result.merged_sketch("nope.latency") is None
 
 
 # ---------------------------------------------------------------------------
