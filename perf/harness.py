@@ -22,9 +22,13 @@ committed baseline and checked by ``perf.check``.
 
 from __future__ import annotations
 
+import cProfile
 import dataclasses
+import io
 import json
 import pathlib
+import pstats
+import statistics
 import time
 import typing
 
@@ -130,7 +134,14 @@ SCENARIOS: typing.Dict[str, Scenario] = {
 
 @dataclasses.dataclass
 class ScenarioResult:
-    """Measured outcome of one scenario (best-of-``repeats`` wall time)."""
+    """Measured outcome of one scenario.
+
+    ``wall_seconds``/``events_per_sec`` are best-of-``repeats`` (the
+    cleanest estimate of kernel speed on a quiet machine); the median
+    fields summarize the *typical* repeat, so a run whose best and
+    median disagree wildly is telling you the machine was noisy, not
+    the kernel slow.
+    """
 
     name: str
     events: int
@@ -141,6 +152,8 @@ class ScenarioResult:
     throughput_tps: float
     processed_tuples: int
     repeats: int
+    median_wall_seconds: float
+    median_events_per_sec: float
 
     def to_dict(self) -> typing.Dict[str, typing.Any]:
         return dataclasses.asdict(self)
@@ -165,10 +178,11 @@ def _run_once(
 
 def _to_result(
     name: str,
-    best: typing.Tuple[float, int, int, int, float],
-    repeats: int,
+    samples: typing.Sequence[typing.Tuple[float, int, int, int, float]],
 ) -> ScenarioResult:
+    best = min(samples, key=lambda sample: sample[0])
     wall, events, batches, processed, throughput = best
+    median_wall = statistics.median(sample[0] for sample in samples)
     return ScenarioResult(
         name=name,
         events=events,
@@ -178,31 +192,51 @@ def _to_result(
         batches_per_sec=batches / wall,
         throughput_tps=throughput,
         processed_tuples=processed,
-        repeats=repeats,
+        repeats=len(samples),
+        median_wall_seconds=median_wall,
+        # The work is deterministic, so every repeat processes the same
+        # event count — the median rate is just events over median wall.
+        median_events_per_sec=events / median_wall,
     )
 
 
 def measure_scenario(scenario: Scenario, repeats: int = 3) -> ScenarioResult:
-    """Run ``scenario`` ``repeats`` times; report the fastest run.
+    """Run ``scenario`` ``repeats`` times; report fastest plus median.
 
     Best-of-N is the standard way to suppress scheduler/GC noise when the
     workload itself is deterministic: every repeat does identical work, so
-    the minimum is the cleanest estimate of the kernel's speed.
+    the minimum is the cleanest estimate of the kernel's speed.  The
+    median rides along as a noise indicator.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
-    best: typing.Optional[typing.Tuple[float, int, int, int, float]] = None
-    for _ in range(repeats):
-        sample = _run_once(scenario)
-        if best is None or sample[0] < best[0]:
-            best = sample
-    assert best is not None
-    return _to_result(scenario.name, best, repeats)
+    samples = [_run_once(scenario) for _ in range(repeats)]
+    return _to_result(scenario.name, samples)
+
+
+def profile_scenario(scenario: Scenario, top: int = 25) -> str:
+    """cProfile one run of ``scenario``; return the top-``top`` report.
+
+    Sorted by cumulative time, which surfaces the hot *paths* (event
+    dispatch, pipeline callbacks, workload draws) rather than leaf
+    functions.  Profiling overhead is substantial, so this run's wall
+    time is never mixed into the measured samples.
+    """
+    system = scenario.build()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    system.run(duration=scenario.duration, warmup=scenario.warmup)
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(top)
+    return buffer.getvalue()
 
 
 def run_harness(
     names: typing.Optional[typing.Sequence[str]] = None,
     repeats: int = 3,
+    profile: bool = False,
 ) -> typing.Dict[str, typing.Any]:
     """Measure the requested scenarios and return the report dict.
 
@@ -212,6 +246,11 @@ def run_harness(
     which keeps *ratios* between scenarios — in particular the
     ``micro_telemetry`` vs ``micro`` overhead bound checked by
     ``perf.check`` — honest.
+
+    With ``profile=True`` each scenario gets one extra cProfile'd run
+    (after the timed repeats, so the instrumentation never pollutes the
+    measurements) and the report gains a ``profiles`` section with the
+    top-25 cumulative-time entries per scenario.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -219,21 +258,23 @@ def run_harness(
     unknown = [n for n in selected if n not in SCENARIOS]
     if unknown:
         raise ValueError(f"unknown scenario(s): {unknown}; have {sorted(SCENARIOS)}")
-    best: typing.Dict[str, typing.Tuple[float, int, int, int, float]] = {}
+    samples: typing.Dict[str, typing.List[typing.Tuple[float, int, int, int, float]]]
+    samples = {name: [] for name in selected}
     for _ in range(repeats):
         for name in selected:
-            sample = _run_once(SCENARIOS[name])
-            current = best.get(name)
-            if current is None or sample[0] < current[0]:
-                best[name] = sample
+            samples[name].append(_run_once(SCENARIOS[name]))
     report: typing.Dict[str, typing.Any] = {
         "schema": 1,
         "unit": "wall-clock events/sec and batches/sec, best of N repeats",
         "scenarios": {
-            name: _to_result(name, best[name], repeats).to_dict()
+            name: _to_result(name, samples[name]).to_dict()
             for name in selected
         },
     }
+    if profile:
+        report["profiles"] = {
+            name: profile_scenario(SCENARIOS[name]) for name in selected
+        }
     return report
 
 
@@ -248,3 +289,49 @@ def write_report(
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """Minimal CLI — ``PYTHONPATH=src python perf/harness.py [--profile]``.
+
+    The full-featured front end (reference comparison, drift table) is
+    ``benchmarks/bench_kernel.py``; this entry point exists for quick
+    measurement and profiling loops while working on the kernel.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "scenarios",
+        nargs="*",
+        choices=[[], *SCENARIOS],
+        help=f"scenarios to run (default: all of {', '.join(SCENARIOS)})",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="add one cProfile'd run per scenario; the top-25 "
+        "cumulative-time entries land in the report's 'profiles' section",
+    )
+    parser.add_argument("--out", type=pathlib.Path, default=RESULT_PATH)
+    args = parser.parse_args(argv)
+    report = run_harness(
+        args.scenarios or None, repeats=args.repeats, profile=args.profile
+    )
+    for name, row in report["scenarios"].items():
+        print(
+            f"{name:<16} events={row['events']:,} "
+            f"best={row['events_per_sec']:,.0f}/s "
+            f"median={row['median_events_per_sec']:,.0f}/s"
+        )
+    if args.profile:
+        for name, text in report["profiles"].items():
+            print(f"\n=== cProfile: {name} ===\n{text}")
+    write_report(report, args.out)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

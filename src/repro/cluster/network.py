@@ -14,7 +14,6 @@ account state-migration bytes and remote-task data bytes separately
 from __future__ import annotations
 
 import enum
-import heapq
 import typing
 
 from repro.metrics import ByteCounter
@@ -91,9 +90,8 @@ class NetworkFabric:
         event._ok = True
         event._value = None
         if src_node == dst_node:
-            heapq.heappush(
-                env._queue,
-                (env._now + self.LOCAL_DELIVERY_LATENCY, env._seq, event),
+            env._timers.push(
+                env._now + self.LOCAL_DELIVERY_LATENCY, env._seq, event
             )
             env._seq += 1
             return event
@@ -129,7 +127,7 @@ class NetworkFabric:
         ingress.busy_until = finish
         delay = finish - now + self.base_latency
         if delay > 0.0:
-            heapq.heappush(env._queue, (env._now + delay, env._seq, event))
+            env._timers.push(env._now + delay, env._seq, event)
         else:
             env._ready.append((env._seq, event))
         env._seq += 1

@@ -12,7 +12,6 @@ to make same-node reassignments free.
 
 from __future__ import annotations
 
-import heapq
 import typing
 
 from repro.cluster.network import TransferPurpose
@@ -22,15 +21,436 @@ from repro.executors.channels import WindowedSender, _Delivery
 from repro.executors.config import ExecutorConfig
 from repro.executors.routing import RoutingTable
 from repro.executors.stats import ExecutorMetrics, ReassignmentRecord, ReassignmentStats
-from repro.executors.task import STOP, Task
+from repro.executors.task import STOP, StopSignal, Task
 from repro.logic.base import OperatorLogic, StateAccess
 from repro.protocol import REHOME, SHARD_REASSIGN
 from repro.sanitize import ShardSanitizer
 from repro.sim import Environment, Event, Resource, Store
+from repro.sim.events import PENDING
 from repro.state import MigrationClock, ProcessStateStore, ShardState, migrate_shard
 from repro.topology.batch import LabelTuple, TupleBatch
 from repro.topology.keys import shard_lookup
 from repro.topology.operator import OperatorSpec
+
+
+class _ReceiverLoop:
+    """Callback-compiled receiver daemon (replaces the generator loop).
+
+    Functionally identical to the retired ``_receiver_loop`` generator —
+    get a batch, route it (buffer / local task queue / windowed remote
+    send), repeat — but hand-compiled to callbacks on a slotted object.
+    The event footprint per batch is exactly the generator's (the get,
+    then the put or the window grant), so simulation ordering is
+    unchanged; what disappears is the Process frame, the generator
+    resume and the StopIteration machinery on every hop.
+
+    Plumbing handles are bound once at construction, mirroring the
+    generator's locals: crash recovery replaces the executor's plumbing
+    and then builds a *fresh* loop, so the bindings can never go stale.
+    """
+
+    __slots__ = (
+        "env", "input_queue", "lookup", "entries", "on_arrival",
+        "local_node", "sender", "window_request", "transfer", "san",
+        "_waiting", "_batch", "_task", "_dead",
+        "_on_batch_cb", "_on_put_cb", "_on_window_cb",
+    )
+
+    def __init__(self, executor: "ElasticExecutor") -> None:
+        self.env = executor.env
+        self.input_queue = executor.input_queue
+        self.lookup = executor._shard_lookup
+        self.entries = executor.routing._entries
+        self.on_arrival = executor.metrics.on_arrival
+        self.local_node = executor.local_node
+        sender = executor._receiver_sender
+        self.sender = sender
+        self.window_request = sender._window.request
+        self.transfer = sender.fabric.transfer
+        self.san = executor._san
+        self._waiting: typing.Optional[Event] = None
+        self._batch: typing.Optional[TupleBatch] = None
+        self._task: typing.Optional[Task] = None
+        self._dead = False
+        self._on_batch_cb = self._on_batch
+        self._on_put_cb = self._on_put
+        self._on_window_cb = self._on_window
+        self._pump()
+
+    def _pump(self) -> None:
+        event = self.input_queue.get()
+        self._waiting = event
+        event.callbacks.append(self._on_batch_cb)
+
+    def _on_batch(self, event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        batch = event._value
+        env = self.env
+        if batch.trace is not None:
+            batch.trace["received"] = env._now
+        count = batch.count
+        self.on_arrival(env._now, count, count * batch.size_bytes)
+        shard_id = self.lookup[batch.key]
+        entry = self.entries[shard_id]
+        if self.san is not None:
+            self.san.on_route(batch, shard_id)
+        if entry.paused:
+            entry.buffer.append(batch)
+            self._pump()
+            return
+        task = entry.task
+        if task.node_id == self.local_node:
+            put = task.queue.put(batch)
+            self._waiting = put
+            put.callbacks.append(self._on_put_cb)
+            return
+        self._batch = batch
+        self._task = task
+        request = self.window_request()
+        self._waiting = request
+        request.callbacks.append(self._on_window_cb)
+
+    def _on_put(self, _event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        self._pump()
+
+    def _on_window(self, _event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        batch = self._batch
+        task = self._task
+        self._batch = None
+        self._task = None
+        hop = self.transfer(
+            self.local_node, task.node_id,
+            batch.count * batch.size_bytes, TransferPurpose.REMOTE_TASK,
+        )
+        _Delivery(self.sender, hop, task.queue, batch)
+        self._pump()
+
+    def kill(self) -> typing.Optional[Event]:
+        """Stop the loop (crash semantics); returns the awaited event.
+
+        Same contract as ``Process.kill``: the loop's callback is removed
+        from whatever it was blocked on so the caller can cancel the
+        store bookkeeping tied to it.
+        """
+        self._dead = True
+        waiting = self._waiting
+        self._waiting = None
+        if waiting is not None and waiting.callbacks is not None:
+            for callback in (self._on_batch_cb, self._on_put_cb, self._on_window_cb):
+                try:
+                    waiting.callbacks.remove(callback)
+                    break
+                except ValueError:
+                    pass
+        return waiting
+
+
+class _EmitterLoop:
+    """Callback-compiled emitter daemon (replaces the generator loop).
+
+    Pulls finished batches off the emitter queue and submits them to
+    every downstream group via the one-event ``submit_event`` fast path;
+    a closed repartition gate (rare — hybrid controller only) falls back
+    to the group's generator form in a short-lived process that can wait
+    the gate open.  Kill contract matches ``Process.kill``.
+    """
+
+    __slots__ = (
+        "env", "ex", "queue", "local_node", "sender",
+        "_waiting", "_batch", "_gi", "_dead", "_on_batch_cb", "_on_sent_cb",
+    )
+
+    def __init__(self, executor: "ElasticExecutor") -> None:
+        self.env = executor.env
+        # ``_downstream_groups`` is read per batch through the executor:
+        # start() runs before connect() wires the topology, which swaps
+        # the list object.
+        self.ex = executor
+        self.queue = executor._emitter_queue
+        self.local_node = executor.local_node
+        self.sender = executor._emitter_sender
+        self._waiting: typing.Optional[Event] = None
+        self._batch: typing.Optional[TupleBatch] = None
+        self._gi = 0
+        self._dead = False
+        self._on_batch_cb = self._on_batch
+        self._on_sent_cb = self._on_sent
+        self._pump()
+
+    def _pump(self) -> None:
+        event = self.queue.get()
+        self._waiting = event
+        event.callbacks.append(self._on_batch_cb)
+
+    def _on_batch(self, event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        self._batch = event._value
+        self._gi = 0
+        self._next_group()
+
+    def _next_group(self) -> None:
+        groups = self.ex._downstream_groups
+        gi = self._gi
+        if gi >= len(groups):
+            self._batch = None
+            self._pump()
+            return
+        self._gi = gi + 1
+        group = groups[gi]
+        event = group.submit_event(self._batch, self.local_node, self.sender)
+        if event is None:
+            # Gate closed: the generator form can wait it open.
+            event = self.env.process(
+                group.submit(self._batch, self.local_node, self.sender)
+            )
+        self._waiting = event
+        event.callbacks.append(self._on_sent_cb)
+
+    def _on_sent(self, _event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        self._next_group()
+
+    def kill(self) -> typing.Optional[Event]:
+        """Stop the loop (crash semantics); returns the awaited event."""
+        self._dead = True
+        waiting = self._waiting
+        self._waiting = None
+        if waiting is not None and waiting.callbacks is not None:
+            for callback in (self._on_batch_cb, self._on_sent_cb):
+                try:
+                    waiting.callbacks.remove(callback)
+                    break
+                except ValueError:
+                    pass
+        return waiting
+
+
+class _TaskPipeline(Event):
+    """Callback-compiled task loop + batch execution (one per task).
+
+    Replaces two generators per task — ``Task._run`` and the executor's
+    ``process_batch`` — with a single slotted FSM driven entirely by
+    event callbacks: get an item, burn the CPU cost (a bare wake event on
+    the timer wheel), apply state + logic, then hand emissions to the
+    emitter queue.  The per-batch event footprint (get, wake, emission
+    puts) is identical to the generator pair, so simulation ordering is
+    unchanged; the ~3 generator resumes per batch disappear.
+
+    The pipeline *is* the task's completion event (like ``Process``): it
+    succeeds when a :class:`StopSignal` is consumed, so ``remove_core``'s
+    ``yield victim.process`` and the hybrid controller's drain waits work
+    unmodified.  Executors with an external state store keep the
+    generator path (the state access itself yields network events).
+    """
+
+    __slots__ = (
+        "task", "ex", "queue",
+        "_waiting", "_item", "_cost", "_started", "_emissions", "_ei", "_dead",
+        "_on_item_cb", "_on_wake_cb", "_on_eput_cb",
+    )
+
+    def __init__(self, executor: "ElasticExecutor", task: "Task") -> None:
+        Event.__init__(self, executor.env)
+        self.task = task
+        self.ex = executor
+        self.queue = task.queue
+        self._waiting: typing.Optional[Event] = None
+        self._item: typing.Optional[TupleBatch] = None
+        self._cost = 0.0
+        self._started = 0.0
+        self._emissions: typing.Sequence[typing.Any] = ()
+        self._ei = 0
+        self._dead = False
+        self._on_item_cb = self._on_item
+        self._on_wake_cb = self._on_wake
+        self._on_eput_cb = self._on_emit_put
+        self._pump()
+
+    def _pump(self) -> None:
+        event = self.queue.get()
+        self._waiting = event
+        event.callbacks.append(self._on_item_cb)
+
+    def _on_item(self, event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        item = event._value
+        task = self.task
+        cls = item.__class__
+        if cls is not TupleBatch:
+            # Control items are rare; exact class checks keep the common
+            # batch path to a single pointer comparison.
+            if cls is StopSignal:
+                task.stopped = True
+                self.succeed(None)
+                return
+            if cls is LabelTuple:
+                # FIFO guarantees every tuple routed to this task before
+                # the label has been processed — signal the drain.
+                item.event.succeed()
+                self._pump()
+                return
+        ex = self.ex
+        env = ex.env
+        self._started = env._now
+        task.current_item = item
+        if item.trace is not None:
+            item.trace["task_start"] = env._now
+        logic = ex.logic
+        cost = logic.cpu_seconds(item) if logic is not None else 0.0
+        # Wall time on this core; slow nodes (stragglers) and injected
+        # stalls take longer, and everything downstream — shard loads, µ,
+        # the scheduler — sees the measured reality, not the nominal
+        # cost.  cluster.speed is read per batch on purpose: straggler
+        # injection changes it mid-run.
+        cost = cost / (ex.cluster.speed(task.node_id) * ex.stall_factor)
+        self._item = item
+        self._cost = cost
+        if cost > 0:
+            # Inlined timeout (one per processed batch): a bare triggered
+            # event pushed at now + cost, skipping the Timeout frames.
+            wake = Event.__new__(Event)
+            wake.env = env
+            wake.callbacks = [self._on_wake_cb]
+            wake._ok = True
+            wake._value = None
+            env._timers.push(env._now + cost, env._seq, wake)
+            env._seq += 1
+            self._waiting = wake
+            return
+        self._execute()
+
+    def _on_wake(self, _event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        self._execute()
+
+    def _execute(self) -> None:
+        ex = self.ex
+        env = ex.env
+        task = self.task
+        batch = self._item
+        cost = self._cost
+        shard_id = ex._shard_lookup[batch.key]
+        ex._shard_cost_accum[shard_id] += cost
+        if ex._san is not None:
+            ex._san.on_access(shard_id, task.task_id, batch)
+        emissions: typing.Sequence[typing.Any] = ()
+        logic = ex.logic
+        if logic is not None:
+            shard = ex.stores[task.node_id].get(shard_id)
+            emissions = logic.process(batch, StateAccess(shard))
+        now = env._now
+        metrics = ex.metrics
+        metrics.on_processed(now, batch.count, cost)
+        reference = batch.admitted_at
+        if reference is None:
+            reference = batch.created_at
+        waited = now - reference
+        metrics.queue_latency.record(waited if waited > 0.0 else 0.0)
+        if ex.operator_in_flight is not None:
+            ex.operator_in_flight.decrement()
+        if batch.trace is not None:
+            batch.trace["done"] = now
+        # Commit point: state applied and accounted.  A crash from here
+        # on must not count the batch as lost (and must not re-apply it).
+        task.current_item = None
+        if ex.is_sink:
+            probe = ex.latency_probe
+            if probe is not None:
+                probe.record(shard_id, now - batch.created_at, batch.count, now)
+            if ex._sink_recorder is not None:
+                ex._sink_recorder(batch, now)
+            self._finish()
+            return
+        if emissions:
+            if not isinstance(emissions, (list, tuple)):
+                emissions = tuple(emissions)
+            self._emissions = emissions
+            self._ei = 0
+            self._next_emission()
+            return
+        self._finish()
+
+    def _next_emission(self) -> None:
+        ex = self.ex
+        task = self.task
+        batch = self._item
+        emissions = self._emissions
+        ei = self._ei
+        if ei >= len(emissions):
+            self._emissions = ()
+            self._finish()
+            return
+        self._ei = ei + 1
+        emission = emissions[ei]
+        out = TupleBatch(
+            key=emission.key,
+            count=emission.count,
+            cpu_cost=0.0,
+            size_bytes=emission.size_bytes,
+            created_at=batch.created_at,
+            payload=emission.payload,
+            admitted_at=batch.admitted_at,
+            trace=batch.trace,
+        )
+        ex.metrics.on_emit(ex.env._now, out.total_bytes)
+        if task.node_id == ex.local_node:
+            event = ex._emitter_queue.put(out)
+        else:
+            sender = ex._remote_senders[task.node_id]
+            event = sender.send_event(
+                ex.local_node, ex._emitter_queue, out,
+                out.total_bytes, TransferPurpose.REMOTE_TASK,
+            )
+        self._waiting = event
+        event.callbacks.append(self._on_eput_cb)
+
+    def _on_emit_put(self, _event: Event) -> None:
+        if self._dead:
+            return
+        self._waiting = None
+        self._next_emission()
+
+    def _finish(self) -> None:
+        task = self.task
+        task.busy_seconds += self.ex.env._now - self._started
+        self._item = None
+        self._pump()
+
+    def kill(self) -> typing.Optional[Event]:
+        """Terminate abruptly (crash semantics); same contract as
+        ``Process.kill``: succeeds the completion event so waiters are
+        not stranded and returns the event the pipeline was blocked on
+        so the caller can cancel store bookkeeping tied to it."""
+        if self._value is not PENDING:
+            return None
+        self._dead = True
+        waiting = self._waiting
+        self._waiting = None
+        if waiting is not None and waiting.callbacks is not None:
+            for callback in (self._on_item_cb, self._on_wake_cb, self._on_eput_cb):
+                try:
+                    waiting.callbacks.remove(callback)
+                    break
+                except ValueError:
+                    pass
+        self.succeed(None)
+        return waiting
 
 
 class ElasticExecutor:
@@ -71,9 +491,12 @@ class ElasticExecutor:
         self.reassignment_stats = reassignment_stats or ReassignmentStats()
         self.migration_clock = migration_clock or MigrationClock()
         self.num_shards = spec.shards_per_executor
-        #: Memoized tier-2 routing (key -> shard).  The hash is static, so
-        #: each key pays the splitmix64 mix once; validation happened here.
-        self._shard_lookup = shard_lookup(self.num_shards)
+        #: Tier-2 routing (key -> shard).  The hash is static; with a
+        #: declared dense key space the table is precomputed and shared
+        #: across the operator's executors instead of memoized per key.
+        self._shard_lookup = shard_lookup(
+            self.num_shards, spec.key_space.num_keys
+        )
 
         #: Optional :class:`repro.state.external.ExternalStateService` —
         #: when set, shard state lives in the external store (every batch
@@ -90,7 +513,11 @@ class ElasticExecutor:
             local_node: ProcessStateStore(self.name, local_node)
         }
         for shard_id in range(self.num_shards):
-            shard = ShardState(shard_id, nominal_bytes=spec.shard_state_bytes)
+            shard = ShardState(
+                shard_id,
+                nominal_bytes=spec.shard_state_bytes,
+                hot_entries=spec.hot_state_entries,
+            )
             if self.external_state is not None:
                 self.external_state.register_shard(self.name, shard)
             else:
@@ -196,60 +623,22 @@ class ElasticExecutor:
             self.routing.assign(shard_id, task)
             if san is not None:
                 san.on_assign(shard_id, task.task_id)
-        self._daemons = [
-            self.env.process(self._receiver_loop()),
-            self.env.process(self._emitter_loop()),
-        ]
+        self._daemons = [_ReceiverLoop(self), _EmitterLoop(self)]
         if self._enable_balancer:
             self._daemons.append(self.env.process(self._balance_loop()))
 
     # -- data plane -------------------------------------------------------
 
-    def _receiver_loop(self) -> typing.Generator:
-        """Single entrance for all tuples from upstream operators.
+    def make_pipeline(self, task: Task) -> typing.Optional["_TaskPipeline"]:
+        """Build the compiled task pipeline, or ``None`` for the generator.
 
-        The hottest per-batch loop in the executor; queue handles and the
-        routing structures are bound to locals once per daemon lifetime
-        (crash recovery replaces the plumbing and then spawns a *fresh*
-        daemon, so the bindings can never go stale) and the local-task
-        branch of :meth:`_forward` is inlined to skip a generator frame
-        per batch.
+        External state stores keep the generator path: the state access
+        itself yields network events, which the compiled pipeline does
+        not model.
         """
-        env = self.env
-        get = self.input_queue.get
-        lookup = self._shard_lookup
-        entries = self.routing._entries
-        on_arrival = self.metrics.on_arrival
-        local_node = self.local_node
-        sender = self._receiver_sender
-        window_request = sender._window.request
-        transfer = sender.fabric.transfer
-        san = self._san
-        while True:
-            batch = yield get()
-            if batch.trace is not None:
-                batch.trace["received"] = env._now
-            count = batch.count
-            on_arrival(env._now, count, count * batch.size_bytes)
-            shard_id = lookup[batch.key]
-            entry = entries[shard_id]
-            if san is not None:
-                san.on_route(batch, shard_id)
-            if entry.paused:
-                entry.buffer.append(batch)
-                continue
-            task = entry.task
-            if task.node_id == local_node:
-                yield task.queue.put(batch)
-            else:
-                # Inlined WindowedSender.send remote branch: admit into the
-                # window, start the transfer, hand off to the delivery FSM.
-                yield window_request()
-                hop = transfer(
-                    local_node, task.node_id,
-                    count * batch.size_bytes, TransferPurpose.REMOTE_TASK,
-                )
-                _Delivery(sender, hop, task.queue, batch)
+        if self.external_state is not None:
+            return None
+        return _TaskPipeline(self, task)
 
     def _forward(
         self, item: typing.Any, task: Task, nbytes: typing.Optional[float] = None
@@ -285,7 +674,7 @@ class ElasticExecutor:
             wake.callbacks = []
             wake._ok = True
             wake._value = None
-            heapq.heappush(env._queue, (env._now + cost, env._seq, wake))
+            env._timers.push(env._now + cost, env._seq, wake)
             env._seq += 1
             yield wake
         shard_id = self._shard_lookup[batch.key]
@@ -346,17 +735,6 @@ class ElasticExecutor:
                     out.total_bytes,
                     TransferPurpose.REMOTE_TASK,
                 )
-
-    def _emitter_loop(self) -> typing.Generator:
-        """Single exit: forwards outputs to all downstream operators."""
-        get = self._emitter_queue.get
-        groups = self._downstream_groups
-        local_node = self.local_node
-        sender = self._emitter_sender
-        while True:
-            batch = yield get()
-            for group in groups:
-                yield from group.submit(batch, local_node, sender)
 
     # -- elasticity: core membership --------------------------------------
 
@@ -781,7 +1159,11 @@ class ElasticExecutor:
         for shard_id in range(self.num_shards):
             task = tasks[shard_id % len(tasks)]
             if self.external_state is None:
-                shard = ShardState(shard_id, nominal_bytes=self.spec.shard_state_bytes)
+                shard = ShardState(
+                    shard_id,
+                    nominal_bytes=self.spec.shard_state_bytes,
+                    hot_entries=self.spec.hot_state_entries,
+                )
                 self.stores[task.node_id].add(shard)
                 per_store[task.node_id] = (
                     per_store.get(task.node_id, 0) + shard.nominal_bytes
@@ -797,10 +1179,7 @@ class ElasticExecutor:
             stats.shards_rebuilt.add(self.num_shards)
             stats.state_bytes_rebuilt.add(rebuilt_bytes)
         self.alive = True
-        self._daemons = [
-            self.env.process(self._receiver_loop()),
-            self.env.process(self._emitter_loop()),
-        ]
+        self._daemons = [_ReceiverLoop(self), _EmitterLoop(self)]
         if self._enable_balancer:
             self._daemons.append(self.env.process(self._balance_loop()))
         stats.add_downtime(self.env.now - started)
@@ -904,7 +1283,11 @@ class ElasticExecutor:
                     break
         if src_node is None:
             # Only replica died: pay the rebuild penalty (replay/recompute).
-            shard = ShardState(shard_id, nominal_bytes=self.spec.shard_state_bytes)
+            shard = ShardState(
+                    shard_id,
+                    nominal_bytes=self.spec.shard_state_bytes,
+                    hot_entries=self.spec.hot_state_entries,
+                )
             if rebuild_rate > 0 and shard.nominal_bytes:
                 yield self.env.timeout(shard.nominal_bytes / rebuild_rate)
             dst_store.add(shard)

@@ -56,10 +56,13 @@ class ElasticGroup:
         self.router = router
         self.gate: typing.Optional[typing.Any] = None
         self.in_flight: typing.Optional[typing.Any] = None
-        #: Memoized tier-1 table, used when no dynamic router is attached
-        #: (the executor list — and thus the static hash — is then fixed
-        #: for the topology's lifetime).  Validated once, here.
-        self._lookup = executor_lookup(len(self.executors))
+        #: Tier-1 table, used when no dynamic router is attached (the
+        #: executor list — and thus the static hash — is then fixed for
+        #: the topology's lifetime).  Precomputed over the operator's
+        #: dense key space and shared between groups with one geometry.
+        self._lookup = executor_lookup(
+            len(self.executors), self.executors[0].spec.key_space.num_keys
+        )
 
     def route(self, key: int) -> "ElasticExecutor":
         if self.router is not None:
@@ -241,35 +244,100 @@ class SourceInstance:
             window=self.sender._window.capacity,
         )
 
-    def start(self, schedule: typing.Iterator) -> None:
+    def start(self, schedule: typing.Iterable) -> None:
         """Begin emitting; ``schedule`` yields (emit_time, TupleBatch)."""
-        self.env.process(self._run(schedule))
-
-    def _run(self, schedule: typing.Iterator) -> typing.Generator:
-        # ``self.sender``/``self.node_id`` are read per batch on purpose:
-        # relocate() swaps them when the hosting node crashes.
-        env = self.env
-        trace_every = self.trace_every
-        for emit_time, batch in schedule:
-            now = env._now
-            if emit_time > now:
-                yield Timeout(env, emit_time - now)
-            batch.admitted_at = env._now
-            self.last_created = batch.created_at
-            self._emitted_batches += 1
-            if trace_every and self._emitted_batches % trace_every == 0:
-                batch.trace = {
-                    "created": batch.created_at,
-                    "admitted": batch.admitted_at,
-                }
-            for group in self._groups:
-                event = group.submit_event(batch, self.node_id, self.sender)
-                if event is not None:
-                    yield event
-                else:
-                    # Gate closed: the generator form can wait it open.
-                    yield from group.submit(batch, self.node_id, self.sender)
-            self.emitted_tuples += batch.count
+        _SourceLoop(self, iter(schedule))
 
     def __repr__(self) -> str:
         return f"SourceInstance({self.name}, node={self.node_id})"
+
+
+class _SourceLoop:
+    """Callback-compiled source emit loop (replaces the generator).
+
+    Drives the (emit_time, batch) schedule: sleep until the emit time if
+    it is in the future, stamp admission, submit to every downstream
+    group in order, repeat.  Per-batch event footprint matches the
+    generator version (the timeout when ahead of schedule, one submit
+    event per group); the Process frame and a generator resume per event
+    disappear.  ``src.sender``/``src.node_id`` are read per batch on
+    purpose: ``relocate()`` swaps them when the hosting node crashes.
+    """
+
+    __slots__ = (
+        "src", "env", "schedule", "_batch", "_gi", "_on_time_cb", "_on_sent_cb",
+    )
+
+    def __init__(self, src: SourceInstance, schedule: typing.Iterator) -> None:
+        self.src = src
+        self.env = src.env
+        self.schedule = schedule
+        self._batch: typing.Optional[TupleBatch] = None
+        self._gi = 0
+        self._on_time_cb = self._on_time
+        self._on_sent_cb = self._on_sent
+        self._pump()
+
+    def _pump(self) -> None:
+        # A trampoline, not recursion: a source with no downstream groups
+        # emits its whole backlog synchronously, which must not grow the
+        # stack per batch.
+        env = self.env
+        while True:
+            try:
+                emit_time, batch = next(self.schedule)
+            except StopIteration:
+                return  # schedule exhausted: the source simply stops
+            now = env._now
+            if emit_time > now:
+                self._batch = batch
+                timeout = Timeout(env, emit_time - now)
+                timeout.callbacks.append(self._on_time_cb)
+                return
+            self._emit(batch)
+            if self._batch is not None:
+                return  # waiting on a group submit event
+
+    def _on_time(self, _event: typing.Any) -> None:
+        batch = self._batch
+        self._batch = None
+        self._emit(batch)
+        if self._batch is None:
+            self._pump()
+
+    def _emit(self, batch: TupleBatch) -> None:
+        src = self.src
+        batch.admitted_at = self.env._now
+        src.last_created = batch.created_at
+        src._emitted_batches += 1
+        if src.trace_every and src._emitted_batches % src.trace_every == 0:
+            batch.trace = {
+                "created": batch.created_at,
+                "admitted": batch.admitted_at,
+            }
+        if not src._groups:
+            src.emitted_tuples += batch.count
+            return
+        self._batch = batch
+        self._gi = 0
+        self._next_group()
+
+    def _next_group(self) -> None:
+        src = self.src
+        groups = src._groups
+        gi = self._gi
+        if gi >= len(groups):
+            src.emitted_tuples += self._batch.count
+            self._batch = None
+            self._pump()
+            return
+        self._gi = gi + 1
+        group = groups[gi]
+        event = group.submit_event(self._batch, src.node_id, src.sender)
+        if event is None:
+            # Gate closed: the generator form can wait it open.
+            event = self.env.process(group.submit(self._batch, src.node_id, src.sender))
+        event.callbacks.append(self._on_sent_cb)
+
+    def _on_sent(self, _event: typing.Any) -> None:
+        self._next_group()

@@ -271,9 +271,11 @@ class RCOperatorManager:
         self.manager_node = manager_node
         self._logic_factory = logic_factory
         self.total_shards = spec.total_shards
-        #: Memoized operator-level key -> shard table (static hash, so the
-        #: salted mix runs once per distinct key; validated at construction).
-        self.shard_lookup = shard_lookup(self.total_shards)
+        #: Operator-level key -> shard table (static hash); precomputed
+        #: and shared for a declared dense key space, memoized otherwise.
+        self.shard_lookup = shard_lookup(
+            self.total_shards, spec.key_space.num_keys
+        )
         self.gate = OperatorGate(env)
         self.in_flight = InFlightCounter(env)
         self.executors: typing.List[RCExecutor] = []
@@ -324,7 +326,11 @@ class RCOperatorManager:
             executor = self.executors[shard_id % len(self.executors)]
             self._assignment[shard_id] = executor
             self.store_for_node(executor.node_id).add(
-                ShardState(shard_id, nominal_bytes=self.spec.shard_state_bytes)
+                ShardState(
+                    shard_id,
+                    nominal_bytes=self.spec.shard_state_bytes,
+                    hot_entries=self.spec.hot_state_entries,
+                )
             )
 
     def start(self) -> None:
@@ -715,7 +721,9 @@ class RCOperatorManager:
                         # Only replica died: serial rebuild at the manager —
                         # part of why RC recovery is slow.
                         shard = ShardState(
-                            shard_id, nominal_bytes=self.spec.shard_state_bytes
+                            shard_id,
+                            nominal_bytes=self.spec.shard_state_bytes,
+                            hot_entries=self.spec.hot_state_entries,
                         )
                         if rebuild_rate > 0 and shard.nominal_bytes:
                             yield self.env.timeout(shard.nominal_bytes / rebuild_rate)

@@ -52,6 +52,27 @@ _GLOBAL_RANDOM_FNS = frozenset({
     "getrandbits", "seed",
 })
 
+#: ``numpy.random`` module-level draw functions: they share the hidden
+#: global ``RandomState`` exactly like the stdlib ``random`` module.  A
+#: seeded ``np.random.Generator(np.random.PCG64(seed))`` (or
+#: ``default_rng(seed)``) is the supported idiom.
+_NUMPY_GLOBAL_FNS = frozenset({
+    "random", "rand", "randn", "randint", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "uniform", "normal",
+    "standard_normal", "exponential", "poisson", "binomial", "beta",
+    "gamma", "zipf", "pareto", "bytes", "seed", "get_state", "set_state",
+})
+
+#: ``numpy.random`` constructors that are fine *seeded* but draw entropy
+#: from the OS when called with no arguments.
+_NUMPY_SEEDED_CTORS = frozenset({
+    "default_rng", "Generator", "PCG64", "PCG64DXSM", "MT19937",
+    "Philox", "SFC64", "RandomState", "SeedSequence",
+})
+
+#: Names ``numpy`` is commonly imported as.
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
 #: Files allowed to read the wall clock (measurement side channels that
 #: never feed back into virtual time).
 ALLOWED_PATH_SUFFIXES = (
@@ -110,6 +131,29 @@ class Det001(Rule):
                     module, node,
                     f"global random.{attr}() shares interpreter-wide RNG "
                     "state; use a seeded random.Random(seed) instance",
+                )
+        elif (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "random"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id in _NUMPY_ALIASES
+        ):
+            # np.random.X(...) — the hidden module-level RandomState, or
+            # a generator constructor called without a seed.
+            attr = func.attr
+            if attr in _NUMPY_GLOBAL_FNS:
+                yield self.finding(
+                    module, node,
+                    f"numpy.random.{attr}() uses the hidden global "
+                    "RandomState; use a seeded "
+                    "numpy.random.Generator(PCG64(seed)) instead",
+                )
+            elif attr in _NUMPY_SEEDED_CTORS and not node.args and not node.keywords:
+                yield self.finding(
+                    module, node,
+                    f"numpy.random.{attr}() without a seed draws OS "
+                    "entropy; pass an explicit seed",
                 )
         elif isinstance(func, ast.Name) and func.id in _ORDERING_SINKS:
             if len(node.args) == 1 and _is_set_expr(node.args[0]):

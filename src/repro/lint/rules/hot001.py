@@ -29,6 +29,7 @@ from repro.lint.core import Finding, ParsedModule, Rule
 #: Modules whose classes are on the per-tuple hot path.
 HOT_PATH_SUFFIXES = (
     "repro/sim/", "repro/executors/", "repro/state/", "repro/topology/batch.py",
+    "repro/topology/keys.py",
 )
 
 #: Base-class names that manage instance layout themselves.

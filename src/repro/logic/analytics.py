@@ -12,6 +12,8 @@ from __future__ import annotations
 import collections
 import typing
 
+import numpy as np
+
 from repro.logic.base import OperatorLogic, StateAccess
 from repro.topology.batch import Emission, TupleBatch
 
@@ -113,15 +115,24 @@ class PriceAlarmLogic(_SinkAnalyticsLogic):
 
     def __init__(
         self,
-        thresholds: typing.Optional[typing.Dict[int, float]] = None,
+        thresholds: typing.Union[typing.Dict[int, float], "np.ndarray", None] = None,
         cost_per_record: float = 0.1e-3,
     ) -> None:
         super().__init__(cost_per_record)
-        self.thresholds = thresholds or {}
+        # Either a sparse dict (a few watched keys) or a dense per-key
+        # array (every key watched — million-key workloads hand one flat
+        # array instead of a million-entry dict).
+        if thresholds is None:
+            thresholds = {}
+        self.thresholds = thresholds
         self.alarms: typing.List[typing.Tuple[float, int, float]] = []
 
     def _consume(self, batch: TupleBatch, state: StateAccess) -> None:
-        threshold = self.thresholds.get(batch.key)
+        thresholds = self.thresholds
+        if isinstance(thresholds, dict):
+            threshold = thresholds.get(batch.key)
+        else:
+            threshold = float(thresholds[batch.key])
         if threshold is None:
             return
         armed = state.get(batch.key, True)

@@ -5,6 +5,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import os
+import statistics
 import typing
 
 from repro.cluster import Cluster, TransferPurpose
@@ -764,7 +765,10 @@ class StreamSystem:
                 ]
             if not pre:
                 return None
-            return threshold * (sum(pre) / len(pre))
+            # Median, not mean: a backlog drained right after warmup
+            # shows up as a couple of burst bins whose mean would set an
+            # unreachable baseline for the true steady rate.
+            return threshold * statistics.median(pre)
 
         comp_threshold = threshold_for(completions)
         adm_threshold = threshold_for(admission)

@@ -3,12 +3,22 @@
 from __future__ import annotations
 
 import collections
-import heapq
+import os
 import typing
 
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Process
+from repro.sim.wheel import HeapTimerQueue, TimerWheel
 from repro.telemetry.events import NULL_BUS
+
+#: Timer-queue implementations selectable via ``REPRO_TIMER``.  ``wheel``
+#: is the production kernel; ``heap`` forces the retired binary heap for
+#: differential debugging (both produce bit-identical event order — the
+#: property battery in ``tests/test_timer_wheel.py`` enforces it).
+_TIMER_IMPLS: typing.Dict[str, type] = {
+    "wheel": TimerWheel,
+    "heap": HeapTimerQueue,
+}
 
 
 class Environment:
@@ -19,27 +29,35 @@ class Environment:
     deterministic.
 
     Two queues back the clock.  Future events (``delay > 0``) live on a
-    binary heap of ``(time, seq, event)``.  Already-due events
+    coalescing hierarchical timer wheel (:class:`~repro.sim.wheel.TimerWheel`)
+    that yields entries in exact ``(time, seq)`` order.  Already-due events
     (``delay == 0`` — the overwhelming majority: store hand-offs, process
     wakeups) go to a plain FIFO deque of ``(seq, event)`` instead, which
-    skips the O(log n) heap round-trip.  The merge rule in :meth:`step`
-    compares sequence numbers whenever a heap entry is due at the current
+    skips the timer structure entirely.  The merge rule in :meth:`step`
+    compares sequence numbers whenever a timer entry is due at the current
     time, so the combined processing order is exactly the global
-    ``(time, seq)`` order the single-heap kernel produced:
+    ``(time, seq)`` order a single-heap kernel would produce:
 
     - every deque entry was scheduled *at* the current time, so its time
       component equals ``now``;
-    - heap entries are never in the past (``delay > 0`` at insertion and
-      the clock only advances by popping the heap minimum), so a heap
+    - timer entries are never in the past (``delay > 0`` at insertion and
+      the clock only advances by popping the timer minimum), so a timer
       entry competes with the deque only when its time == ``now`` — and
       then the smaller sequence number wins, same as the heap tie-break.
     """
 
-    __slots__ = ("_now", "_queue", "_ready", "_seq", "_processed", "telemetry")
+    __slots__ = ("_now", "_timers", "_ready", "_seq", "_processed", "telemetry")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
-        self._queue: list = []
+        name = os.environ.get("REPRO_TIMER", "wheel")
+        try:
+            impl = _TIMER_IMPLS[name]
+        except KeyError:
+            raise SimulationError(
+                f"unknown REPRO_TIMER={name!r}; choose from {sorted(_TIMER_IMPLS)}"
+            ) from None
+        self._timers = impl(start=self._now)
         self._ready: collections.deque = collections.deque()
         self._seq = 0
         self._processed = 0
@@ -66,32 +84,57 @@ class Environment:
     def schedule(self, event: Event, delay: float = 0.0) -> None:
         """Queue a triggered event for processing ``delay`` seconds from now."""
         if delay > 0.0:
-            heapq.heappush(self._queue, (self._now + delay, self._seq, event))
+            self._timers.push(self._now + delay, self._seq, event)
         elif delay == 0.0:
             self._ready.append((self._seq, event))
         else:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
         self._seq += 1
 
+    def push_ready(self, event: Event) -> None:
+        """Queue a triggered event for processing at the current time.
+
+        The sanctioned zero-delay fast path for kernel-adjacent code
+        (stores, channels, compiled executor pipelines): equivalent to
+        ``schedule(event)`` without the delay dispatch.
+        """
+        self._ready.append((self._seq, event))
+        self._seq += 1
+
+    def push_at(self, time: float, event: Event) -> None:
+        """Queue a triggered event for processing at absolute virtual ``time``.
+
+        The sanctioned future-event fast path: equivalent to
+        ``schedule(event, time - now)`` for ``time > now``.
+        """
+        if time <= self._now:
+            if time == self._now:
+                self._ready.append((self._seq, event))
+                self._seq += 1
+                return
+            raise SimulationError(
+                f"cannot schedule into the past (time={time} < now={self._now})"
+            )
+        self._timers.push(time, self._seq, event)
+        self._seq += 1
+
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` when idle."""
         if self._ready:
             return self._now
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        return self._timers.head_time
 
     def step(self) -> None:
         """Process exactly one event (the globally next in (time, seq) order)."""
         ready = self._ready
-        queue = self._queue
+        timers = self._timers
         if ready:
-            if queue and queue[0][0] <= self._now and queue[0][1] < ready[0][0]:
-                self._now, _, event = heapq.heappop(queue)
+            if timers.head_time <= self._now and timers.head_seq < ready[0][0]:
+                self._now, _, event = timers.pop()
             else:
                 _, event = ready.popleft()
-        elif queue:
-            self._now, _, event = heapq.heappop(queue)
+        elif timers.head_seq >= 0:
+            self._now, _, event = timers.pop()
         else:
             raise SimulationError("no scheduled events")
         self._processed += 1
@@ -109,34 +152,37 @@ class Environment:
         # innermost loop of the whole simulator, worth the duplication.
         # ``now`` mirrors self._now — only this loop advances the clock
         # (callbacks schedule events but never move time), so the merge
-        # rule reads a local instead of a slot on every event.
+        # rule reads a local instead of a slot on every event.  The timer
+        # head is exposed as two plain attributes (``head_time`` /
+        # ``head_seq``) precisely so this loop never makes a method call
+        # to decide between the deque and the wheel.
         ready = self._ready
-        queue = self._queue
-        heappop = heapq.heappop
+        timers = self._timers
+        pop = timers.pop
         processed = 0
         now = self._now
         try:
             if until is None:
-                while ready or queue:
+                while True:
                     if ready:
                         if (
-                            queue
-                            and queue[0][0] <= now
-                            and queue[0][1] < ready[0][0]
+                            timers.head_time <= now
+                            and timers.head_seq < ready[0][0]
                         ):
-                            now, _, event = heappop(queue)
+                            now, _, event = pop()
                             self._now = now
                         else:
                             _, event = ready.popleft()
-                    else:
-                        now, _, event = heappop(queue)
+                    elif timers.head_seq >= 0:
+                        now, _, event = pop()
                         self._now = now
+                    else:
+                        return
                     processed += 1
                     callbacks = event.callbacks
                     event.callbacks = None
                     for callback in callbacks:
                         callback(event)
-                return
             until = float(until)
             if until < now:
                 raise SimulationError(
@@ -145,16 +191,15 @@ class Environment:
             while True:
                 if ready:
                     if (
-                        queue
-                        and queue[0][0] <= now
-                        and queue[0][1] < ready[0][0]
+                        timers.head_time <= now
+                        and timers.head_seq < ready[0][0]
                     ):
-                        now, _, event = heappop(queue)
+                        now, _, event = pop()
                         self._now = now
                     else:
                         _, event = ready.popleft()
-                elif queue and queue[0][0] <= until:
-                    now, _, event = heappop(queue)
+                elif timers.head_time <= until:
+                    now, _, event = pop()
                     self._now = now
                 else:
                     break

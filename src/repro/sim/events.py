@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import heapq
 import typing
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -127,7 +126,7 @@ class Timeout(Event):
         self._ok = True
         self._value = value
         if delay > 0.0:
-            heapq.heappush(env._queue, (env._now + delay, env._seq, self))
+            env._timers.push(env._now + delay, env._seq, self)
         else:
             env._ready.append((env._seq, self))
         env._seq += 1

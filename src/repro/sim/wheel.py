@@ -1,0 +1,326 @@
+"""Coalescing hierarchical timer wheel for the delayed-event queue.
+
+The kernel's future events used to live on a binary heap of
+``(time, seq, event)`` tuples: every insertion and extraction paid
+O(log n) sift cost.  The wheel replaces both with O(1) amortized slot
+appends — entries are *coalesced* into slot buckets and only sorted
+(one C ``list.sort`` call over a small bucket) when the clock actually
+reaches their slot.
+
+Ordering contract — the invariant everything else leans on: entries are
+returned in **exactly** the global ``(time, seq)`` order the heap kernel
+produced.  Three properties make that hold:
+
+- the slot mapping ``slot(t) = int((t - base) / width)`` is monotone in
+  ``t`` (float subtraction and division by a positive constant are
+  monotone, truncation of non-negatives is floor), so an earlier-due
+  entry can never land in a later slot *of the same level and window*;
+- cross-level and cross-window placement only ever *defers* an entry
+  (bumps it to a bucket drained later), never advances it — boundary
+  rounding between the independently computed level formulas is clamped
+  in the deferring direction;
+- within a bucket, entries are sorted by ``(time, seq)`` before any of
+  them is handed out, and a late insertion into the *currently
+  draining* bucket is merged at its sorted position (``insort``) — it
+  cannot be due before ``now`` because the kernel never schedules into
+  the past.
+
+Layout: a fine level-0 wheel (``width`` × ``slots`` horizon), a coarse
+level-1 wheel (one level-0 horizon per slot), and an overflow heap for
+everything beyond level 1.  When level 0 wraps, the next populated
+level-1 bucket is scattered into level 0; when level 1 wraps, the
+overflow heap refills it.  Far-future timers (key shuffles, fault
+injections, sweep horizons) therefore cost one coarse append now and one
+bulk sort much later, instead of rattling through every intermediate
+heap sift.  Populated slots are tracked in integer bitmaps, so skipping
+empty stretches is one big-int shift instead of a slot-by-slot scan.
+
+The binary-heap kernel survives as :class:`HeapTimerQueue` — the
+reference implementation the property battery cross-checks the wheel
+against (``tests/test_timer_wheel.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+from bisect import insort
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.events import Event
+
+#: A queue entry: due time, global tie-break sequence, the event itself.
+Entry = typing.Tuple[float, int, "Event"]
+
+#: Level-0 slot width in virtual seconds.  Batch-cost timeouts cluster
+#: around milliseconds; 1 ms slots coalesce same-moment completions into
+#: one bucket sort, while control-plane intervals (0.1 s – 1 s) stay
+#: within the fine horizon.
+DEFAULT_WIDTH = 1e-3
+#: Level-0 slot count (fine horizon = width * slots ≈ 4.1 s).
+DEFAULT_SLOTS = 4096
+#: Level-1 slot count (coarse horizon ≈ 70 virtual minutes).
+DEFAULT_COARSE_SLOTS = 1024
+
+
+class TimerWheel:
+    """Two-level coalescing timer wheel with an overflow heap.
+
+    Entries are ``(time, seq, event)``; :attr:`head_time` / :attr:`head_seq`
+    expose the earliest entry without popping, so the environment's merge
+    rule (ready deque vs future queue) reads two attributes instead of
+    making a method call per processed event.
+    """
+
+    __slots__ = (
+        "_width", "_nslots", "_ncoarse", "_fine_horizon", "_coarse_horizon",
+        "_base", "_cursor", "_slots", "_fine_map",
+        "_coarse", "_coarse_base", "_coarse_cursor", "_coarse_map",
+        "_overflow", "_count", "_cur", "_cur_idx",
+        "head_time", "head_seq",
+    )
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        width: float = DEFAULT_WIDTH,
+        slots: int = DEFAULT_SLOTS,
+        coarse_slots: int = DEFAULT_COARSE_SLOTS,
+    ) -> None:
+        if width <= 0.0:
+            raise ValueError(f"slot width must be positive, got {width}")
+        if slots < 2 or coarse_slots < 2:
+            raise ValueError("wheel needs at least 2 slots per level")
+        self._width = width
+        self._nslots = slots
+        self._ncoarse = coarse_slots
+        self._fine_horizon = width * slots
+        self._coarse_horizon = self._fine_horizon * coarse_slots
+        self._base = start
+        self._cursor = 0
+        self._slots: typing.List[typing.List[Entry]] = [
+            [] for _ in range(slots)
+        ]
+        #: Bitmap of populated fine slots strictly after the cursor.
+        self._fine_map = 0
+        self._coarse: typing.List[typing.List[Entry]] = [
+            [] for _ in range(coarse_slots)
+        ]
+        self._coarse_base = start
+        self._coarse_cursor = 0
+        self._coarse_map = 0
+        self._overflow: typing.List[Entry] = []
+        self._count = 0
+        #: The currently draining bucket, sorted ascending; entries are
+        #: consumed via ``_cur_idx`` instead of pops from the front.
+        self._cur: typing.List[Entry] = []
+        self._cur_idx = 0
+        #: (time, seq) of the earliest entry; ``inf`` when empty.  The
+        #: environment's inner loop reads these directly.
+        self.head_time = float("inf")
+        self.head_seq = -1
+
+    def __len__(self) -> int:
+        return self._count
+
+    # -- insertion --------------------------------------------------------
+
+    def push(self, time: float, seq: int, event: "Event") -> None:
+        """Insert ``event`` due at virtual ``time`` with tie-break ``seq``."""
+        entry = (time, seq, event)
+        self._count += 1
+        index = int((time - self._base) / self._width)
+        if index < self._nslots:
+            if index <= self._cursor:
+                # Due in the currently draining bucket (i.e. due "now"):
+                # merge into the sorted remainder.  Never lands before
+                # _cur_idx — the kernel cannot schedule into the past.
+                insort(self._cur, entry, self._cur_idx)
+            else:
+                bucket = self._slots[index]
+                if not bucket:
+                    self._fine_map |= 1 << index
+                bucket.append(entry)
+        else:
+            index = int((time - self._coarse_base) / self._fine_horizon)
+            if index <= self._coarse_cursor:
+                # Boundary rounding disagreement between the fine and
+                # coarse formulas: defer to the next coarse bucket (never
+                # advance — deferral preserves the global order).
+                index = self._coarse_cursor + 1
+            if index < self._ncoarse:
+                bucket = self._coarse[index]
+                if not bucket:
+                    self._coarse_map |= 1 << index
+                bucket.append(entry)
+            else:
+                heapq.heappush(self._overflow, entry)
+        if time < self.head_time or (
+            time == self.head_time and seq < self.head_seq
+        ):
+            self.head_time = time
+            self.head_seq = seq
+
+    # -- extraction -------------------------------------------------------
+
+    def pop(self) -> Entry:
+        """Remove and return the globally earliest ``(time, seq, event)``."""
+        if self._cur_idx >= len(self._cur):
+            self._advance()
+        entry = self._cur[self._cur_idx]
+        self._cur_idx += 1
+        self._count -= 1
+        if self._cur_idx < len(self._cur):
+            head = self._cur[self._cur_idx]
+            self.head_time = head[0]
+            self.head_seq = head[1]
+        elif self._count:
+            self._advance()
+            head = self._cur[self._cur_idx]
+            self.head_time = head[0]
+            self.head_seq = head[1]
+        else:
+            if self._cur:
+                self._cur = []
+            self._cur_idx = 0
+            self.head_time = float("inf")
+            self.head_seq = -1
+        return entry
+
+    # -- internals --------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Move the cursor to the next populated bucket, refilling levels.
+
+        Only called with ``_count > 0``; leaves ``_cur`` holding a sorted,
+        non-empty bucket with ``_cur_idx`` at its first entry.
+        """
+        while True:
+            ahead = self._fine_map >> (self._cursor + 1)
+            if ahead:
+                self._cursor += (ahead & -ahead).bit_length()
+                self._fine_map &= ~(1 << self._cursor)
+                bucket = self._slots[self._cursor]
+                self._slots[self._cursor] = []
+                bucket.sort()
+                self._cur = bucket
+                self._cur_idx = 0
+                return
+            self._refill_fine()
+
+    def _refill_fine(self) -> None:
+        """Level 0 is drained: scatter the next populated coarse bucket.
+
+        Jumps over empty coarse buckets (and, via the overflow fast-path,
+        over whole empty coarse windows) in O(1) bitmap arithmetic.
+        """
+        ahead = self._coarse_map >> (self._coarse_cursor + 1)
+        if ahead:
+            self._coarse_cursor += (ahead & -ahead).bit_length()
+            self._coarse_map &= ~(1 << self._coarse_cursor)
+            self._rebase_fine()
+            self._scatter(self._coarse[self._coarse_cursor])
+            self._coarse[self._coarse_cursor] = []
+            return
+        # Both wheel levels are empty; everything left is in overflow.
+        # (_advance guarantees _count > 0 here via its caller contract,
+        # but an empty overflow still just wraps the coarse window.)
+        if self._overflow:
+            target = self._overflow[0][0]
+            windows = int((target - self._coarse_base) / self._coarse_horizon)
+            if windows > 1:
+                # Skip straight to the overflow minimum's coarse window.
+                self._coarse_base += (windows - 1) * self._coarse_horizon
+        self._refill_coarse()
+
+    def _rebase_fine(self) -> None:
+        """Align level 0 to the coarse bucket the cursor sits on."""
+        self._base = self._coarse_base + self._coarse_cursor * self._fine_horizon
+        self._cursor = -1
+        self._fine_map = 0
+
+    def _scatter(self, bucket: typing.List[Entry]) -> None:
+        """Distribute a coarse bucket's entries over the fine slots."""
+        base = self._base
+        width = self._width
+        last = self._nslots - 1
+        slots = self._slots
+        for entry in bucket:
+            index = int((entry[0] - base) / width)
+            if index > last:
+                index = last  # top-boundary rounding: defer within window
+            elif index < 0:
+                index = 0  # bottom-boundary rounding: still due this window
+            slot = slots[index]
+            if not slot:
+                self._fine_map |= 1 << index
+            slot.append(entry)
+
+    def _refill_coarse(self) -> None:
+        """Level 1 wrapped: re-base it and pull the overflow heap in."""
+        self._coarse_base += self._coarse_horizon
+        self._coarse_cursor = 0
+        self._coarse_map = 0
+        self._rebase_fine()
+        overflow = self._overflow
+        limit = self._coarse_base + self._coarse_horizon
+        heappop = heapq.heappop
+        scatter_now: typing.List[Entry] = []
+        while overflow and overflow[0][0] < limit:
+            entry = heappop(overflow)
+            index = int((entry[0] - self._coarse_base) / self._fine_horizon)
+            if index <= 0:
+                scatter_now.append(entry)
+            else:
+                if index >= self._ncoarse:
+                    index = self._ncoarse - 1  # boundary rounding: defer
+                bucket = self._coarse[index]
+                if not bucket:
+                    self._coarse_map |= 1 << index
+                bucket.append(entry)
+        if scatter_now:
+            self._scatter(scatter_now)
+
+
+class HeapTimerQueue:
+    """The retired binary-heap future queue, kept as the reference kernel.
+
+    Exposes the same ``push`` / ``pop`` / ``head_time`` / ``head_seq``
+    surface as :class:`TimerWheel`; the property battery drives both with
+    identical schedules and asserts bit-identical pop order, and the
+    environment can be forced onto it with ``REPRO_TIMER=heap`` for
+    differential debugging.
+    """
+
+    __slots__ = ("_heap", "head_time", "head_seq")
+
+    def __init__(
+        self,
+        start: float = 0.0,
+        width: float = DEFAULT_WIDTH,
+        slots: int = DEFAULT_SLOTS,
+        coarse_slots: int = DEFAULT_COARSE_SLOTS,
+    ) -> None:
+        self._heap: typing.List[Entry] = []
+        self.head_time = float("inf")
+        self.head_seq = -1
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: float, seq: int, event: "Event") -> None:
+        heapq.heappush(self._heap, (time, seq, event))
+        head = self._heap[0]
+        self.head_time = head[0]
+        self.head_seq = head[1]
+
+    def pop(self) -> Entry:
+        entry = heapq.heappop(self._heap)
+        if self._heap:
+            head = self._heap[0]
+            self.head_time = head[0]
+            self.head_seq = head[1]
+        else:
+            self.head_time = float("inf")
+            self.head_seq = -1
+        return entry

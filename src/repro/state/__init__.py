@@ -7,6 +7,7 @@ tasks in the same process needs no state movement at all, while cross-
 process reassignment migrates the shard's state over the network.
 """
 
+from repro.state.flat import SpillableKeyStore
 from repro.state.shard import ShardState
 from repro.state.store import ProcessStateStore, StateError
 from repro.state.migration import MigrationClock, migrate_shard
@@ -17,6 +18,7 @@ __all__ = [
     "MigrationClock",
     "ProcessStateStore",
     "ShardState",
+    "SpillableKeyStore",
     "StateError",
     "migrate_shard",
 ]

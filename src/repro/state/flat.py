@@ -1,0 +1,155 @@
+"""Memory-bounded per-key state: bounded hot tier + pickled cold tier.
+
+At million-key scale the per-shard ``dict`` of live Python objects is the
+dominant memory cost of a run: every entry pays the dict-slot plus boxed
+key plus boxed value overhead (~100 bytes for an int counter that needs
+8).  A :class:`SpillableKeyStore` is a drop-in replacement that keeps at
+most ``hot_capacity`` entries as live objects and spills the
+least-recently-used remainder to a compact pickled cold tier — state
+stays exact (spill is lossless, a cold hit is unpickled and re-promoted)
+while the live-object footprint is bounded per shard.
+
+Keys are already interned to dense ints at the source (workload
+generators emit ids ``0..num_keys-1``; routing uses the shared
+:class:`repro.topology.keys.DenseLookup` tables), so stores never see
+composite or string keys on the hot path.
+"""
+
+from __future__ import annotations
+
+import pickle
+import typing
+
+_MISSING = object()
+
+
+class SpillableKeyStore:
+    """Dict-compatible per-key store with a bounded live-object tier.
+
+    - Hot tier: a plain insertion-ordered ``dict`` used LRU-style (reads
+      and writes re-append their key); capped at ``hot_capacity``.
+    - Cold tier: ``key -> pickle.dumps(value)``; entries move there in
+      eviction chunks when the hot tier overflows and move back (and
+      re-promote) on access.
+
+    The interface covers everything executors do to ``ShardState.data``:
+    ``get``/``[]=``/``pop``/``in``/``len``/iteration.  Iteration order is
+    hot tier (LRU order) then cold tier (spill order) — deterministic,
+    since both follow from the deterministic access sequence.
+    """
+
+    __slots__ = ("hot_capacity", "_hot", "_cold", "spill_count", "fetch_count")
+
+    #: Fraction of the hot tier evicted per overflow, amortizing the
+    #: pickling cost over many inserts.
+    _EVICT_FRACTION = 8
+
+    def __init__(self, hot_capacity: int = 4096) -> None:
+        if hot_capacity < 1:
+            raise ValueError(f"hot_capacity must be >= 1, got {hot_capacity}")
+        self.hot_capacity = hot_capacity
+        self._hot: typing.Dict[int, typing.Any] = {}
+        self._cold: typing.Dict[int, bytes] = {}
+        self.spill_count = 0
+        self.fetch_count = 0
+
+    # -- spill mechanics ---------------------------------------------------
+
+    def _evict(self) -> None:
+        chunk = max(1, self.hot_capacity // self._EVICT_FRACTION)
+        hot = self._hot
+        cold = self._cold
+        for key in list(hot)[:chunk]:
+            cold[key] = pickle.dumps(hot.pop(key), pickle.HIGHEST_PROTOCOL)
+        self.spill_count += chunk
+
+    def _promote(self, key: int, value: typing.Any) -> None:
+        if len(self._hot) >= self.hot_capacity:
+            self._evict()
+        self._hot[key] = value
+
+    # -- dict interface ----------------------------------------------------
+
+    def get(self, key: int, default: typing.Any = None) -> typing.Any:
+        hot = self._hot
+        value = hot.get(key, _MISSING)
+        if value is not _MISSING:
+            # Refresh recency: move the key to the dict's append end.
+            del hot[key]
+            hot[key] = value
+            return value
+        blob = self._cold.pop(key, None)
+        if blob is None:
+            return default
+        self.fetch_count += 1
+        value = pickle.loads(blob)
+        self._promote(key, value)
+        return value
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._hot or key in self._cold
+
+    def __setitem__(self, key: int, value: typing.Any) -> None:
+        hot = self._hot
+        if key in hot:
+            del hot[key]
+            hot[key] = value
+            return
+        self._cold.pop(key, None)
+        self._promote(key, value)
+
+    def pop(self, key: int, default: typing.Any = _MISSING) -> typing.Any:
+        value = self._hot.pop(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        blob = self._cold.pop(key, None)
+        if blob is not None:
+            self.fetch_count += 1
+            return pickle.loads(blob)
+        if default is _MISSING:
+            raise KeyError(key)
+        return default
+
+    def __len__(self) -> int:
+        return len(self._hot) + len(self._cold)
+
+    def __iter__(self) -> typing.Iterator[int]:
+        yield from self._hot
+        yield from self._cold
+
+    def keys(self) -> typing.Iterator[int]:
+        return iter(self)
+
+    def items(self) -> typing.Iterator[typing.Tuple[int, typing.Any]]:
+        for key, value in self._hot.items():
+            yield key, value
+        for key, blob in self._cold.items():
+            yield key, pickle.loads(blob)
+
+    def values(self) -> typing.Iterator[typing.Any]:
+        for _, value in self.items():
+            yield value
+
+    def clear(self) -> None:
+        self._hot.clear()
+        self._cold.clear()
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def hot_entries(self) -> int:
+        return len(self._hot)
+
+    @property
+    def cold_entries(self) -> int:
+        return len(self._cold)
+
+    def cold_bytes(self) -> int:
+        """Exact pickled size of the cold tier."""
+        return sum(len(blob) for blob in self._cold.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"SpillableKeyStore(hot={len(self._hot)}/{self.hot_capacity}, "
+            f"cold={len(self._cold)})"
+        )

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 import typing
 
+from repro.state.flat import SpillableKeyStore
+
 
 class ShardState:
     """State of one shard (a mini-partition of an executor's key subspace).
@@ -17,12 +19,22 @@ class ShardState:
 
     __slots__ = ("shard_id", "nominal_bytes", "data")
 
-    def __init__(self, shard_id: int, nominal_bytes: int = 32 * 1024) -> None:
+    def __init__(
+        self,
+        shard_id: int,
+        nominal_bytes: int = 32 * 1024,
+        hot_entries: typing.Optional[int] = None,
+    ) -> None:
         if nominal_bytes < 0:
             raise ValueError(f"nominal_bytes must be >= 0, got {nominal_bytes}")
         self.shard_id = shard_id
         self.nominal_bytes = nominal_bytes
-        self.data: typing.Dict[int, typing.Any] = {}
+        # With ``hot_entries`` the per-key store bounds its live-object
+        # tier and spills the LRU excess to pickled bytes — same mapping
+        # semantics, bounded memory at million-key scale.
+        self.data: typing.MutableMapping[int, typing.Any] = (
+            SpillableKeyStore(hot_entries) if hot_entries is not None else {}
+        )
 
     def resize(self, nominal_bytes: int) -> None:
         if nominal_bytes < 0:

@@ -14,6 +14,10 @@ finalizer for stable, well-mixed hashes across runs.
 
 from __future__ import annotations
 
+import typing
+
+import numpy as np
+
 MASK64 = (1 << 64) - 1
 
 
@@ -71,18 +75,120 @@ class ShardLookup(dict):
         return bucket
 
 
-def shard_lookup(num_shards: int) -> ShardLookup:
-    """A memoized tier-2 (key -> shard) table; validates once, here."""
-    return ShardLookup(num_shards, _SHARD_SALT)
+def stable_hash_array(keys: np.ndarray, salt: int = 0) -> np.ndarray:
+    """Vectorized :func:`stable_hash` over a uint64 array.
+
+    numpy's unsigned arithmetic wraps modulo 2**64, which is exactly the
+    masking the scalar version does by hand.
+    """
+    x = keys.astype(np.uint64, copy=True)
+    x += np.uint64((salt * 0x9E3779B97F4A7C15) & MASK64)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
 
 
-def executor_lookup(num_executors: int) -> ShardLookup:
-    """A memoized tier-1 (key -> executor) table; validates once, here."""
-    return ShardLookup(num_executors, _EXECUTOR_SALT)
+#: Above this key-space size a dense table costs more than the memo
+#: dicts it replaces ever would; fall back to lazy memoization.
+_DENSE_TABLE_LIMIT = 1 << 26
+
+#: (num_keys, num_buckets, salt) -> (int32 bucket array, bucket list).
+#: Shared across every executor of every operator with the same partition
+#: geometry — at million-key scale the per-executor memo dicts this
+#: replaces would each outweigh the whole table.
+_DENSE_TABLES: typing.Dict[
+    typing.Tuple[int, int, int], typing.Tuple[typing.Any, typing.List[int]]
+] = {}
+
+
+def _dense_table(
+    num_keys: int, num_buckets: int, salt: int
+) -> typing.Tuple[typing.Any, typing.List[int]]:
+    entry = _DENSE_TABLES.get((num_keys, num_buckets, salt))
+    if entry is None:
+        hashed = stable_hash_array(np.arange(num_keys, dtype=np.uint64), salt)
+        array = (hashed % np.uint64(num_buckets)).astype(np.int32)
+        entry = _DENSE_TABLES[(num_keys, num_buckets, salt)] = (
+            array, array.tolist()
+        )
+    return entry
+
+
+class DenseLookup:
+    """Precomputed key -> bucket table for a dense ``0..num_keys-1`` domain.
+
+    The whole partition is materialized once (vectorized splitmix64 over
+    ``arange``) into a table shared by every lookup with the same
+    geometry, so executors stop growing private per-key memo dicts.
+    Scalar hits index a plain list (small cached ints, no numpy boxing);
+    :attr:`array` exposes the int32 table for vectorized routing.  Keys
+    outside the dense domain fall back to the scalar hash — correctness
+    never depends on the declared key space being exhaustive.
+    """
+
+    __slots__ = ("num_keys", "num_buckets", "salt", "array", "_list")
+
+    def __init__(self, num_keys: int, num_buckets: int, salt: int) -> None:
+        if num_buckets < 1:
+            raise ValueError(f"num_buckets must be >= 1, got {num_buckets}")
+        if num_keys < 1:
+            raise ValueError(f"num_keys must be >= 1, got {num_keys}")
+        self.num_keys = num_keys
+        self.num_buckets = num_buckets
+        self.salt = salt
+        self.array, self._list = _dense_table(num_keys, num_buckets, salt)
+
+    def __getitem__(self, key: int) -> int:
+        if 0 <= key < self.num_keys:
+            return self._list[key]
+        return stable_hash(key, self.salt) % self.num_buckets
+
+    def __repr__(self) -> str:
+        return (
+            f"DenseLookup(keys={self.num_keys}, buckets={self.num_buckets}, "
+            f"salt={self.salt})"
+        )
+
+
+#: Either lookup flavour serves ``lookup[key]`` on the hot path.
+KeyLookup = typing.Union[ShardLookup, DenseLookup]
+
+
+def _lookup(num_buckets: int, salt: int, num_keys: typing.Optional[int]) -> KeyLookup:
+    if num_keys is not None and num_keys <= _DENSE_TABLE_LIMIT:
+        return DenseLookup(num_keys, num_buckets, salt)
+    return ShardLookup(num_buckets, salt)
+
+
+def shard_lookup(
+    num_shards: int, num_keys: typing.Optional[int] = None
+) -> KeyLookup:
+    """A tier-2 (key -> shard) table; validates once, here.
+
+    With ``num_keys`` (a dense key space) the table is precomputed and
+    shared; without, it memoizes lazily per instance.
+    """
+    return _lookup(num_shards, _SHARD_SALT, num_keys)
+
+
+def executor_lookup(
+    num_executors: int, num_keys: typing.Optional[int] = None
+) -> KeyLookup:
+    """A tier-1 (key -> executor) table; validates once, here.
+
+    With ``num_keys`` (a dense key space) the table is precomputed and
+    shared; without, it memoizes lazily per instance.
+    """
+    return _lookup(num_executors, _EXECUTOR_SALT, num_keys)
 
 
 class KeySpace:
     """The integer key domain of an operator's input stream."""
+
+    __slots__ = ("num_keys",)
 
     def __init__(self, num_keys: int) -> None:
         if num_keys < 1:
@@ -92,7 +198,7 @@ class KeySpace:
     def __contains__(self, key: int) -> bool:
         return 0 <= key < self.num_keys
 
-    def __iter__(self):
+    def __iter__(self) -> typing.Iterator[int]:
         return iter(range(self.num_keys))
 
     def __repr__(self) -> str:

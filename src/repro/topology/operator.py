@@ -29,6 +29,11 @@ class OperatorSpec:
     is_source: bool = False
     #: Initial per-shard state footprint in bytes (paper default 32 KB).
     shard_state_bytes: int = 32 * 1024
+    #: When set, each shard bounds its live per-key state objects to this
+    #: many entries, spilling the LRU excess to a compact pickled tier
+    #: (:class:`repro.state.flat.SpillableKeyStore`).  None keeps plain
+    #: dicts — right at small key counts where spilling is pure overhead.
+    hot_state_entries: typing.Optional[int] = None
 
     def __post_init__(self) -> None:
         if not self.name:

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import typing
 
+import numpy as np
+
 from repro.logic.base import SyntheticLogic
 from repro.sim import Environment
 from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
@@ -65,6 +67,7 @@ class MicroBenchmarkWorkload:
         executors_per_operator: int = 32,
         shards_per_executor: int = 256,
         shard_state_bytes: int = 32 * 1024,
+        hot_state_entries: typing.Optional[int] = None,
     ) -> Topology:
         """The generator→calculator topology with the paper's defaults."""
         builder = TopologyBuilder()
@@ -81,6 +84,7 @@ class MicroBenchmarkWorkload:
             num_executors=executors_per_operator,
             shards_per_executor=shards_per_executor,
             shard_state_bytes=shard_state_bytes,
+            hot_state_entries=hot_state_entries,
         )
         return builder.build()
 
@@ -99,8 +103,10 @@ class MicroBenchmarkWorkload:
     ) -> typing.Iterator[typing.Tuple[float, TupleBatch]]:
         """(emit_time, batch) stream for one source instance.
 
-        Lazy: each tick's keys are drawn when the instance reaches that
-        tick, so key shuffles apply to everything generated after them.
+        Lazy at *tick* granularity: each tick's keys and creation times
+        are drawn as whole numpy arrays when the instance reaches that
+        tick, so key shuffles apply to everything generated after them
+        while the per-batch python work shrinks to object construction.
         Batches carry their *nominal* creation time — under backpressure
         the instance falls behind and the waiting inflates latency, like
         an external arrival process.
@@ -124,11 +130,14 @@ class MicroBenchmarkWorkload:
             if num_batches > 0:
                 keys = sample(num_batches)
                 spacing = tick / num_batches
-                for j, key in enumerate(keys):
-                    created = tick_start + j * spacing
-                    if created > self.last_created:
-                        self.last_created = created
-                    self.generated_tuples += batch_size
+                created_times = (
+                    tick_start + spacing * np.arange(num_batches)
+                ).tolist()
+                last = created_times[-1]
+                if last > self.last_created:
+                    self.last_created = last
+                self.generated_tuples += num_batches * batch_size
+                for created, key in zip(created_times, keys):
                     yield created, TupleBatch(
                         key, batch_size, cost_per_tuple, tuple_bytes, created
                     )

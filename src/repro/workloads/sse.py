@@ -13,6 +13,13 @@ trace's relevant structure:
   reference price, so the real order-book transactor produces plausible
   match rates.
 
+All per-stock state lives in flat numpy arrays and every tick advances
+the whole market in a handful of vectorized draws from seeded
+``numpy.random.Generator`` streams, so the generator stays usable at
+million-stock key spaces.  The per-tick RNG consumption is *fixed shape*
+(three full-width vectors) regardless of which stocks burst, which keeps
+parameter changes from silently desynchronizing unrelated draws.
+
 Topology: orders -> transactor -> 6 statistics + 5 event operators,
 keyed by stock id throughout.
 """
@@ -21,8 +28,9 @@ from __future__ import annotations
 
 import dataclasses
 import math
-import random
 import typing
+
+import numpy as np
 
 from repro.logic import (
     CompositeIndexLogic,
@@ -35,6 +43,9 @@ from repro.logic import (
 from repro.logic.orderbook import BUY, ORDER_BYTES, SELL, LimitOrder
 from repro.sim import Environment
 from repro.topology import KeySpace, Topology, TopologyBuilder, TupleBatch
+
+#: Order sizes drawn uniformly (shares per limit order).
+_VOLUMES = np.array([100, 200, 300, 500, 1000])
 
 
 @dataclasses.dataclass(frozen=True)
@@ -94,6 +105,8 @@ class SSEWorkload:
         burst_decay: float = 0.92,
         scheduled_bursts: typing.Optional[typing.Sequence[ScheduledBurst]] = None,
         real_payloads: bool = False,
+        track_arrivals: bool = True,
+        weights_window: typing.Optional[int] = None,
         seed: int = 7,
     ) -> None:
         if rate <= 0 or num_stocks < 1 or batch_size < 1 or tick <= 0:
@@ -117,26 +130,43 @@ class SSEWorkload:
                     f"workload has stocks 0..{num_stocks - 1}"
                 )
         self.real_payloads = real_payloads
-        self._rng = random.Random(seed)
-        self._order_rng = random.Random(seed + 1)
-        weights = [1.0 / (rank ** popularity_skew) for rank in range(1, num_stocks + 1)]
-        total = sum(weights)
-        self.popularity = [w / total for w in weights]
+        #: Record per-tick per-stock arrival counts (Figure 15's data).
+        #: Off by default at million-key scale: the counters would
+        #: dominate the workload's own memory footprint.
+        self.track_arrivals = track_arrivals
+        #: Retain only the last N ticks of per-stock weight vectors.
+        #: Each vector is 8 bytes/stock, so unbounded retention at a
+        #: million stocks costs ~8 MB *per tick*; source instances all
+        #: read within a tick or two of each other, so a small window
+        #: suffices for generation.  None keeps every tick (analysis).
+        if weights_window is not None and weights_window < 2:
+            raise ValueError("weights_window must be >= 2")
+        self.weights_window = weights_window
+        self._evicted_ticks = 0
+        #: Source-instance progress (instance -> current tick).  Eviction
+        #: never passes the slowest registered instance: under
+        #: backpressure instances drift apart, and a fast instance must
+        #: not advance the shared window past a tick a slow one still
+        #: has to sample from.
+        self._instance_ticks: typing.Dict[int, int] = {}
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        self._order_rng = np.random.Generator(np.random.PCG64(seed + 1))
+        ranks = np.arange(1, num_stocks + 1, dtype=np.float64)
+        weights = ranks ** -popularity_skew
         # Stock 0 is the most popular, 1 next, etc. (ids are ranks).
-        self._multiplier = [1.0] * num_stocks
-        self._burst = [0.0] * num_stocks
+        self.popularity = weights / weights.sum()
+        self._multiplier = np.ones(num_stocks)
+        self._burst = np.zeros(num_stocks)
         self._advanced_ticks = 0
-        self._tick_weights: typing.List[typing.List[float]] = []
-        self._reference_price = [
-            10.0 + 90.0 * self._rng.random() for _ in range(num_stocks)
-        ]
+        self._tick_weights: typing.List[typing.Optional[np.ndarray]] = []
+        self._reference_price = 10.0 + 90.0 * self._rng.random(num_stocks)
         self._next_order_id = 0
         self.generated_tuples = 0
         #: Generator-side ingest watermark: newest nominal creation time
         #: drawn by any instance (the stamp the latency probes trace).
         self.last_created = 0.0
-        #: tick index -> {stock: tuples generated} (drives Figure 15).
-        self.arrival_counts: typing.Dict[int, typing.Dict[int, int]] = {}
+        #: tick index -> per-stock tuple counts (drives Figure 15).
+        self.arrival_counts: typing.Dict[int, np.ndarray] = {}
 
     # -- time-varying rates -------------------------------------------------
 
@@ -158,41 +188,77 @@ class SSEWorkload:
                     boost += tail
         return boost
 
+    def _scheduled_boost(self, time: float) -> typing.Union[float, np.ndarray]:
+        """Scheduled-burst boosts for all stocks (0.0 when none are due)."""
+        if not self.scheduled_bursts:
+            return 0.0
+        boost = np.zeros(self.num_stocks)
+        for stock in sorted({burst.stock for burst in self.scheduled_bursts}):
+            boost[stock] = self._scheduled_envelope(stock, time)
+        return boost
+
     def _advance_to(self, tick_index: int) -> None:
-        """Advance the per-stock rate processes up to ``tick_index``."""
+        """Advance the per-stock rate processes up to ``tick_index``.
+
+        One market tick costs three vectorized draws over all stocks
+        (drift, burst-onset mask, burst magnitudes) — the RNG stream
+        shape never depends on the data, only on the tick count.
+        """
+        rng = self._rng
+        n = self.num_stocks
+        sigma = self.drift_sigma * math.sqrt(self.tick)
+        decay_per_tick = self.burst_decay ** self.tick
+        onset_probability = self.burst_probability * self.tick
+        multiplier = self._multiplier
+        burst = self._burst
         while self._advanced_ticks <= tick_index:
-            rng = self._rng
-            for stock in range(self.num_stocks):
-                self._multiplier[stock] *= math.exp(
-                    rng.gauss(0.0, self.drift_sigma * math.sqrt(self.tick))
-                )
-                self._multiplier[stock] = min(5.0, max(0.2, self._multiplier[stock]))
-                if self._burst[stock] > 0.05:
-                    self._burst[stock] *= self.burst_decay ** self.tick
-                else:
-                    self._burst[stock] = 0.0
-                if rng.random() < self.burst_probability * self.tick:
-                    self._burst[stock] = self.burst_magnitude * (0.5 + rng.random())
+            drift = rng.normal(0.0, sigma, n) if sigma > 0 else np.zeros(n)
+            np.exp(drift, out=drift)
+            multiplier *= drift
+            np.clip(multiplier, 0.2, 5.0, out=multiplier)
+            np.multiply(burst, decay_per_tick, out=burst)
+            burst[burst <= 0.05 * decay_per_tick] = 0.0
+            onset = rng.random(n) < onset_probability
+            magnitudes = self.burst_magnitude * (0.5 + rng.random(n))
+            burst[onset] = magnitudes[onset]
             now = self._advanced_ticks * self.tick
-            weights = [
-                self.popularity[s] * self._multiplier[s]
-                * (1.0 + self._burst[s] + self._scheduled_envelope(s, now))
-                for s in range(self.num_stocks)
-            ]
+            weights = (
+                self.popularity
+                * multiplier
+                * (1.0 + burst + self._scheduled_boost(now))
+            )
             self._tick_weights.append(weights)
             self._advanced_ticks += 1
+        window = self.weights_window
+        if window is not None:
+            keep_from = self._advanced_ticks - window
+            if self._instance_ticks:
+                keep_from = min(keep_from, min(self._instance_ticks.values()))
+            drop = keep_from - self._evicted_ticks
+            if drop > 0:
+                # Free the arrays but keep list indexing tick-aligned.
+                for i in range(self._evicted_ticks, self._evicted_ticks + drop):
+                    self._tick_weights[i] = None
+                self._evicted_ticks += drop
 
-    def stock_weights(self, tick_index: int) -> typing.List[float]:
+    def stock_weights(self, tick_index: int) -> np.ndarray:
         self._advance_to(tick_index)
-        return self._tick_weights[tick_index]
+        weights = self._tick_weights[tick_index]
+        if weights is None:
+            raise ValueError(
+                f"tick {tick_index} weights were evicted "
+                f"(weights_window={self.weights_window}); widen the window "
+                "or query before advancing past it"
+            )
+        return weights
 
     def stock_rate(self, stock: int, tick_index: int) -> float:
         """Instantaneous arrival rate of one stock (tuples/s)."""
         weights = self.stock_weights(tick_index)
-        total = sum(weights)
+        total = weights.sum()
         if total == 0:
             return 0.0
-        return self.rate * weights[stock] / total
+        return float(self.rate * weights[stock] / total)
 
     # -- order synthesis ------------------------------------------------------
 
@@ -200,28 +266,31 @@ class SSEWorkload:
         rng = self._order_rng
         reference = self._reference_price[stock]
         # Reference price itself random-walks slowly.
-        reference *= math.exp(rng.gauss(0.0, 0.001))
-        self._reference_price[stock] = max(1.0, reference)
-        orders = []
-        for _ in range(count):
-            side = BUY if rng.random() < 0.5 else SELL
-            # Buyers bid slightly below/above reference, sellers mirror it;
-            # the overlap yields a realistic partial match rate.
-            offset = rng.gauss(0.0, 0.005) + (0.002 if side == BUY else -0.002)
-            price = round(max(0.01, reference * (1.0 + offset)), 2)
-            self._next_order_id += 1
-            orders.append(
-                LimitOrder(
-                    order_id=self._next_order_id,
-                    user_id=rng.randrange(10_000),
-                    stock_id=stock,
-                    side=side,
-                    price=price,
-                    volume=rng.choice((100, 200, 300, 500, 1000)),
-                    time=time,
-                )
+        reference = max(1.0, reference * math.exp(rng.normal(0.0, 0.001)))
+        self._reference_price[stock] = reference
+        # All numeric draws for the batch are vectorized; the python loop
+        # only assembles the (immutable) order records.
+        buys = rng.random(count) < 0.5
+        # Buyers bid slightly below/above reference, sellers mirror it;
+        # the overlap yields a realistic partial match rate.
+        offsets = rng.normal(0.0, 0.005, count) + np.where(buys, 0.002, -0.002)
+        prices = np.round(np.maximum(0.01, reference * (1.0 + offsets)), 2)
+        users = rng.integers(0, 10_000, count)
+        volumes = _VOLUMES[rng.integers(0, len(_VOLUMES), count)]
+        first_id = self._next_order_id + 1
+        self._next_order_id += count
+        return [
+            LimitOrder(
+                order_id=first_id + i,
+                user_id=int(users[i]),
+                stock_id=stock,
+                side=BUY if buys[i] else SELL,
+                price=float(prices[i]),
+                volume=int(volumes[i]),
+                time=time,
             )
-        return orders
+            for i in range(count)
+        ]
 
     # -- schedule -------------------------------------------------------------
 
@@ -232,45 +301,69 @@ class SSEWorkload:
         num_instances: int,
         duration: typing.Optional[float] = None,
     ) -> typing.Iterator[typing.Tuple[float, TupleBatch]]:
-        """(emit_time, order batch) stream for one source instance."""
+        """(emit_time, order batch) stream for one source instance.
+
+        Lazy at tick granularity: each tick draws the stock ids and
+        creation times as whole arrays (inverse-CDF over the tick's
+        weight vector), then yields the batch objects one by one.
+        """
         if not 0 <= instance_index < num_instances:
             raise ValueError("instance_index out of range")
         per_instance_rate = self.rate / num_instances
         tuples_per_tick = per_instance_rate * self.tick
+        batch_size = self.batch_size
         carry = 0.0
         tick_index = 0
-        rng = random.Random(hash((instance_index, 97)) & 0xFFFF)
-        population = list(range(self.num_stocks))
-        while duration is None or tick_index * self.tick < duration:
-            weights = self.stock_weights(tick_index)
-            tick_start = tick_index * self.tick
-            wanted = tuples_per_tick + carry
-            num_batches = int(wanted / self.batch_size)
-            carry = wanted - num_batches * self.batch_size
-            if num_batches > 0:
-                stocks = rng.choices(population, weights=weights, k=num_batches)
-                spacing = self.tick / num_batches
-                counts = self.arrival_counts.setdefault(tick_index, {})
-                for j, stock in enumerate(stocks):
-                    created = tick_start + j * spacing
-                    if created > self.last_created:
-                        self.last_created = created
-                    counts[stock] = counts.get(stock, 0) + self.batch_size
-                    self.generated_tuples += self.batch_size
-                    payload = (
-                        self._make_orders(stock, self.batch_size, created)
-                        if self.real_payloads
-                        else None
+        rng = np.random.Generator(
+            np.random.PCG64(hash((instance_index, 97)) & 0xFFFF)
+        )
+        try:
+            while duration is None or tick_index * self.tick < duration:
+                self._instance_ticks[instance_index] = tick_index
+                weights = self.stock_weights(tick_index)
+                tick_start = tick_index * self.tick
+                wanted = tuples_per_tick + carry
+                num_batches = int(wanted / batch_size)
+                carry = wanted - num_batches * batch_size
+                if num_batches > 0:
+                    cumulative = np.cumsum(weights)
+                    draws = rng.random(num_batches) * cumulative[-1]
+                    stocks = np.minimum(
+                        np.searchsorted(cumulative, draws), self.num_stocks - 1
                     )
-                    yield created, TupleBatch(
-                        key=stock,
-                        count=self.batch_size,
-                        cpu_cost=self.order_cost,
-                        size_bytes=ORDER_BYTES,
-                        created_at=created,
-                        payload=payload,
-                    )
-            tick_index += 1
+                    spacing = self.tick / num_batches
+                    created_times = (
+                        tick_start + spacing * np.arange(num_batches)
+                    ).tolist()
+                    last = created_times[-1]
+                    if last > self.last_created:
+                        self.last_created = last
+                    if self.track_arrivals:
+                        counts = np.bincount(stocks, minlength=self.num_stocks)
+                        counts *= batch_size
+                        previous = self.arrival_counts.get(tick_index)
+                        if previous is None:
+                            self.arrival_counts[tick_index] = counts
+                        else:
+                            previous += counts
+                    self.generated_tuples += num_batches * batch_size
+                    for created, stock in zip(created_times, stocks.tolist()):
+                        payload = (
+                            self._make_orders(stock, batch_size, created)
+                            if self.real_payloads
+                            else None
+                        )
+                        yield created, TupleBatch(
+                            key=stock,
+                            count=batch_size,
+                            cpu_cost=self.order_cost,
+                            size_bytes=ORDER_BYTES,
+                            created_at=created,
+                            payload=payload,
+                        )
+                tick_index += 1
+        finally:
+            self._instance_ticks.pop(instance_index, None)
 
     def arrival_series(
         self, stocks: typing.Sequence[int], window_ticks: int = 10
@@ -287,7 +380,9 @@ class SSEWorkload:
             span = len(window) * self.tick
             for stock in stocks:
                 total = sum(
-                    self.arrival_counts.get(t, {}).get(stock, 0) for t in window
+                    int(counts[stock])
+                    for t in window
+                    if (counts := self.arrival_counts.get(t)) is not None
                 )
                 series[stock].append((start * self.tick, total / span))
         return series
@@ -300,6 +395,7 @@ class SSEWorkload:
         shards_per_executor: int = 256,
         shard_state_bytes: int = 32 * 1024,
         analytics_executors: typing.Optional[int] = None,
+        hot_state_entries: typing.Optional[int] = None,
     ) -> Topology:
         """orders -> transactor -> 6 statistics + 5 event operators."""
         analytics_executors = analytics_executors or max(
@@ -318,7 +414,9 @@ class SSEWorkload:
             num_executors=executors_per_operator,
             shards_per_executor=shards_per_executor,
             shard_state_bytes=shard_state_bytes,
+            hot_state_entries=hot_state_entries,
         )
+        reference = self._reference_price
         analytics: typing.Dict[str, typing.Any] = {
             "moving_average": MovingAverageLogic(window=60.0, cost_per_record=self.analytics_cost),
             "minute_bars": MovingAverageLogic(window=300.0, cost_per_record=self.analytics_cost),
@@ -327,15 +425,15 @@ class SSEWorkload:
             "turnover_stats": TradeStatisticsLogic(cost_per_record=self.analytics_cost),
             "composite_index": CompositeIndexLogic(cost_per_record=self.analytics_cost),
             "price_alarm": PriceAlarmLogic(
-                thresholds={s: self._reference_price[s] * 1.05 for s in range(self.num_stocks)},
+                thresholds=reference * 1.05,
                 cost_per_record=self.analytics_cost,
             ),
             "circuit_breaker": PriceAlarmLogic(
-                thresholds={s: self._reference_price[s] * 1.10 for s in range(self.num_stocks)},
+                thresholds=reference * 1.10,
                 cost_per_record=self.analytics_cost,
             ),
             "volume_spike": PriceAlarmLogic(
-                thresholds={s: self._reference_price[s] * 1.02 for s in range(self.num_stocks)},
+                thresholds=reference * 1.02,
                 cost_per_record=self.analytics_cost,
             ),
             "fraud_detection": FraudDetectionLogic(cost_per_record=self.analytics_cost),
@@ -350,5 +448,6 @@ class SSEWorkload:
                 num_executors=analytics_executors,
                 shards_per_executor=shards_per_executor,
                 shard_state_bytes=shard_state_bytes // 4,
+                hot_state_entries=hot_state_entries,
             )
         return builder.build()

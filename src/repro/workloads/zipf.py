@@ -11,15 +11,20 @@ multiplies the frequency of chosen *keys* (hotspot bursts, driven by
 re-permutes which key sits at each rank and then rebuilds the boosted
 table so the same keys stay hot — a burst that starts mid-window must
 not silently migrate to whichever keys inherit the old ranks.
+
+The distribution is fully vectorized: the frequency tables are numpy
+arrays, batch draws go through one ``searchsorted`` per tick, and the
+only RNG is a seeded ``numpy.random.Generator`` whose bit-generator
+state is serializable (:meth:`ZipfKeyDistribution.rng_state`) so a run
+can be checkpointed and replayed deterministically.
 """
 
 from __future__ import annotations
 
-import bisect
 import dataclasses
-import itertools
-import random
 import typing
+
+import numpy as np
 
 from repro.sim import Environment
 
@@ -29,7 +34,9 @@ class ZipfKeyDistribution:
 
     The rank-to-key mapping is a mutable permutation: :meth:`shuffle`
     re-randomizes which keys are hot without changing the frequency shape,
-    exactly the paper's workload-dynamics knob.
+    exactly the paper's workload-dynamics knob.  All per-key tables are
+    flat numpy arrays, so construction, shuffling and batch sampling stay
+    O(n log n) or better at million-key sizes.
     """
 
     def __init__(self, num_keys: int, skew: float = 0.5, seed: int = 0) -> None:
@@ -39,45 +46,50 @@ class ZipfKeyDistribution:
             raise ValueError(f"skew must be >= 0, got {skew}")
         self.num_keys = num_keys
         self.skew = skew
-        self._rng = random.Random(seed)
-        weights = [1.0 / (rank ** skew) for rank in range(1, num_keys + 1)]
-        total = sum(weights)
-        self._cumulative = list(itertools.accumulate(w / total for w in weights))
+        self._rng = np.random.Generator(np.random.PCG64(seed))
+        ranks = np.arange(1, num_keys + 1, dtype=np.float64)
+        weights = ranks ** -skew
+        #: Rank-indexed base probabilities (rank 0 = hottest).
+        self._probabilities = weights / weights.sum()
+        self._cumulative = np.cumsum(self._probabilities)
         self._cumulative[-1] = 1.0  # guard against float drift
-        self._key_of_rank = list(range(num_keys))
-        self._rng.shuffle(self._key_of_rank)
+        self._key_of_rank = self._rng.permutation(num_keys)
         self._rank_of_key = self._invert(self._key_of_rank)
         self.shuffle_count = 0
         #: Per-key frequency multipliers (hotspot bursts); empty = pure zipf.
         self._boosts: typing.Dict[int, float] = {}
-        #: Boost-adjusted cumulative table over ranks; None = no boost active.
-        self._boosted_cumulative: typing.Optional[typing.List[float]] = None
+        #: Boost-adjusted rank-indexed tables; None = no boost active.
+        self._boosted_probabilities: typing.Optional[np.ndarray] = None
+        self._boosted_cumulative: typing.Optional[np.ndarray] = None
 
     @staticmethod
-    def _invert(key_of_rank: typing.List[int]) -> typing.List[int]:
-        rank_of_key = [0] * len(key_of_rank)
-        for rank, key in enumerate(key_of_rank):
-            rank_of_key[key] = rank
+    def _invert(key_of_rank: np.ndarray) -> np.ndarray:
+        rank_of_key = np.empty(len(key_of_rank), dtype=np.int64)
+        rank_of_key[key_of_rank] = np.arange(len(key_of_rank))
         return rank_of_key
 
-    def _base_probability(self, rank: int) -> float:
-        low = self._cumulative[rank - 1] if rank > 0 else 0.0
-        return self._cumulative[rank] - low
+    # -- determinism ------------------------------------------------------
+
+    def rng_state(self) -> typing.Dict[str, typing.Any]:
+        """Serializable bit-generator state (checkpoint/replay support)."""
+        return self._rng.bit_generator.state
+
+    def set_rng_state(self, state: typing.Dict[str, typing.Any]) -> None:
+        self._rng.bit_generator.state = state
+
+    # -- boosts -----------------------------------------------------------
 
     def _rebuild_boosts(self) -> None:
-        """Recompute the boosted cumulative table against *current* ranks."""
+        """Recompute the boosted tables against *current* ranks."""
         if not self._boosts:
+            self._boosted_probabilities = None
             self._boosted_cumulative = None
             return
-        weights = [
-            self._base_probability(rank)
-            * self._boosts.get(self._key_of_rank[rank], 1.0)
-            for rank in range(self.num_keys)
-        ]
-        total = sum(weights)
-        self._boosted_cumulative = list(
-            itertools.accumulate(w / total for w in weights)
-        )
+        factor_by_key = np.ones(self.num_keys)
+        factor_by_key[list(self._boosts)] = list(self._boosts.values())
+        weights = self._probabilities * factor_by_key[self._key_of_rank]
+        self._boosted_probabilities = weights / weights.sum()
+        self._boosted_cumulative = np.cumsum(self._boosted_probabilities)
         self._boosted_cumulative[-1] = 1.0
 
     def boost(self, keys: typing.Iterable[int], factor: float) -> None:
@@ -99,36 +111,39 @@ class ZipfKeyDistribution:
                 self._boosts.pop(key, None)
         self._rebuild_boosts()
 
+    # -- queries ----------------------------------------------------------
+
     def probability(self, key: int) -> float:
-        """Current frequency of ``key`` (O(1) without boosts)."""
+        """Current frequency of ``key`` (O(1))."""
         if not 0 <= key < self.num_keys:
             raise ValueError(f"key {key} outside 0..{self.num_keys - 1}")
-        rank = self._rank_of_key[key]
-        table = self._boosted_cumulative
+        table = self._boosted_probabilities
         if table is None:
-            return self._base_probability(rank)
-        low = table[rank - 1] if rank > 0 else 0.0
-        return table[rank] - low
+            table = self._probabilities
+        return float(table[self._rank_of_key[key]])
 
     def hottest_keys(self, n: int) -> typing.List[int]:
         """The ``n`` currently most frequent keys, hottest first."""
         n = min(n, self.num_keys)
-        if self._boosted_cumulative is None:
-            return [self._key_of_rank[rank] for rank in range(n)]
-        # Boosts can reorder hotness arbitrarily; sort by probability.
-        return sorted(
-            range(self.num_keys), key=lambda k: (-self.probability(k), k)
-        )[:n]
+        if self._boosted_probabilities is None:
+            return self._key_of_rank[:n].tolist()
+        # Boosts can reorder hotness arbitrarily; sort keys by
+        # (-probability, key) — lexsort's last key is the primary one.
+        prob_by_key = self._boosted_probabilities[self._rank_of_key]
+        order = np.lexsort((np.arange(self.num_keys), -prob_by_key))
+        return order[:n].tolist()
 
     def sample(self, count: int) -> typing.List[int]:
-        """Draw ``count`` keys i.i.d. from the current distribution."""
-        rng = self._rng
-        cumulative = self._boosted_cumulative or self._cumulative
-        key_of_rank = self._key_of_rank
-        return [
-            key_of_rank[bisect.bisect_left(cumulative, rng.random())]
-            for _ in range(count)
-        ]
+        """Draw ``count`` keys i.i.d. from the current distribution.
+
+        One vectorized inverse-CDF lookup: ``count`` uniforms against the
+        cumulative table, then the rank→key gather.
+        """
+        cumulative = self._boosted_cumulative
+        if cumulative is None:
+            cumulative = self._cumulative
+        ranks = np.searchsorted(cumulative, self._rng.random(count))
+        return self._key_of_rank[ranks].tolist()
 
     def shuffle(self) -> None:
         """Apply a random permutation to the key frequencies.
@@ -138,7 +153,7 @@ class ZipfKeyDistribution:
         table would hand the burst to whichever keys took over the old
         hot ranks.
         """
-        self._rng.shuffle(self._key_of_rank)
+        self._key_of_rank = self._rng.permutation(self.num_keys)
         self._rank_of_key = self._invert(self._key_of_rank)
         self.shuffle_count += 1
         self._rebuild_boosts()

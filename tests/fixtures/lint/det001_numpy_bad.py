@@ -1,0 +1,23 @@
+"""Fixture: numpy global-RNG and unseeded-generator calls DET001 flags."""
+
+import numpy as np
+
+
+def draw_from_global_state():
+    a = np.random.random(10)            # hidden global RandomState
+    b = np.random.randint(0, 5, 10)     # hidden global RandomState
+    np.random.shuffle(a)                # hidden global RandomState
+    np.random.seed(42)                  # reseeds shared global state
+    return a, b
+
+
+def unseeded_generators():
+    g1 = np.random.default_rng()        # OS entropy, unseeded
+    g2 = np.random.Generator(np.random.PCG64())  # unseeded bit generator
+    return g1, g2
+
+
+def seeded_generators_are_fine():
+    g1 = np.random.default_rng(7)
+    g2 = np.random.Generator(np.random.PCG64(7))
+    return g1.random(4), g2.random(4)

@@ -36,6 +36,17 @@ class TestFixturesTripRules:
         # list(set), for-over-set: every category is represented.
         assert len(findings) == 9
 
+    def test_det001_numpy_fixture(self):
+        findings = lint_fixture("det001_numpy_bad.py")
+        assert rules_of(findings) == {"DET001"}
+        # Four global-state draws (random, randint, shuffle, seed) plus
+        # two unseeded constructors (default_rng(), PCG64()); the seeded
+        # Generator/PCG64/default_rng idiom below them stays clean.
+        assert len(findings) == 6
+        messages = " | ".join(f.message for f in findings)
+        assert "hidden global" in messages
+        assert "without a seed" in messages
+
     def test_hot001_fixture(self):
         findings = lint_fixture("repro/executors/hot001_bad.py")
         assert rules_of(findings) == {"HOT001"}

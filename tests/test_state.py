@@ -102,3 +102,96 @@ class TestMigration:
     def test_clock_validation(self):
         with pytest.raises(ValueError):
             MigrationClock(serialization_bytes_per_s=0)
+
+
+class TestSpillableKeyStore:
+    """The bounded store must be observationally identical to a dict."""
+
+    def test_matches_dict_under_random_ops(self):
+        import random
+
+        from repro.state import SpillableKeyStore
+
+        rng = random.Random(11)
+        store = SpillableKeyStore(hot_capacity=16)
+        reference = {}
+        for _ in range(5000):
+            key = rng.randrange(200)
+            op = rng.random()
+            if op < 0.5:
+                value = (rng.randrange(1000), "payload")
+                store[key] = value
+                reference[key] = value
+            elif op < 0.8:
+                assert store.get(key, -1) == reference.get(key, -1)
+            elif op < 0.9:
+                assert (key in store) == (key in reference)
+            else:
+                assert store.pop(key, None) == reference.pop(key, None)
+            assert len(store) == len(reference)
+        assert sorted(store) == sorted(reference)
+        assert dict(store.items()) == reference
+        # The workload is 200 keys against a 16-entry hot tier: spills
+        # and cold fetches must both actually have happened.
+        assert store.spill_count > 0
+        assert store.fetch_count > 0
+        assert store.cold_entries > 0
+        assert store.cold_bytes() > 0
+
+    def test_pop_missing_raises(self):
+        from repro.state import SpillableKeyStore
+
+        store = SpillableKeyStore(hot_capacity=4)
+        with pytest.raises(KeyError):
+            store.pop(42)
+        assert store.pop(42, "d") == "d"
+
+    def test_hot_tier_is_bounded(self):
+        from repro.state import SpillableKeyStore
+
+        store = SpillableKeyStore(hot_capacity=8)
+        for key in range(1000):
+            store[key] = key * 2
+        assert store.hot_entries <= 8
+        assert len(store) == 1000
+        for key in (0, 500, 999):
+            assert store.get(key) == key * 2
+
+    def test_shard_state_hot_entries_wiring(self):
+        from repro.state import SpillableKeyStore
+
+        shard = ShardState(0, hot_entries=4)
+        assert isinstance(shard.data, SpillableKeyStore)
+        for key in range(32):
+            shard.data[key] = key
+        assert shard.data.hot_entries <= 4
+        assert len(shard.data) == 32
+
+    def test_spilled_run_matches_plain_dict_run(self):
+        """End to end: bounding state memory must not change results."""
+        from repro import (
+            MicroBenchmarkWorkload,
+            Paradigm,
+            StreamSystem,
+            SystemConfig,
+        )
+
+        def run(hot_state_entries):
+            workload = MicroBenchmarkWorkload(
+                rate=4000, num_keys=3000, skew=0.6, omega=2.0,
+                batch_size=20, seed=5,
+            )
+            topology = workload.build_topology(
+                executors_per_operator=4, shards_per_executor=8,
+                hot_state_entries=hot_state_entries,
+            )
+            config = SystemConfig(
+                paradigm=Paradigm.ELASTICUTOR, num_nodes=2,
+                cores_per_node=4, source_instances=1,
+            )
+            result = StreamSystem(topology, workload, config).run(
+                duration=10.0, warmup=2.0
+            )
+            return result.processed_tuples, result.throughput_tps
+
+        assert run(None) == run(16)

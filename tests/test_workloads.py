@@ -199,7 +199,7 @@ class TestSSEWorkload:
         series = workload.arrival_series([0, 1], window_ticks=10)
         assert len(series[0]) >= 9
         total_generated = sum(
-            sum(counts.values()) for counts in workload.arrival_counts.values()
+            int(counts.sum()) for counts in workload.arrival_counts.values()
         )
         assert total_generated == pytest.approx(workload.generated_tuples)
         assert sum(rate for _, rate in series[0]) > 0
@@ -378,3 +378,69 @@ class TestScheduledBurst:
         before = workload.stock_rate(4, 10)  # t = 1.0 s, pre-burst
         during = workload.stock_rate(4, 100)  # t = 10.0 s, holding
         assert during > 5 * before
+
+
+class TestMillionKeyScale:
+    """Zipf edge cases at million-key sizes under batched delivery.
+
+    The distribution's tables are flat numpy arrays; these properties
+    pin down that boost + shuffle + batch sampling stay correct (not
+    just fast) when the key space is 1M+."""
+
+    NUM_KEYS = 1_000_000
+
+    def test_construction_and_batch_sampling(self):
+        dist = ZipfKeyDistribution(self.NUM_KEYS, skew=0.8, seed=3)
+        keys = dist.sample(50_000)
+        assert len(keys) == 50_000
+        assert all(0 <= k < self.NUM_KEYS for k in keys)
+        # Skewed: the hottest 1% of ranks draws far more than 1% of mass.
+        hot = set(dist.hottest_keys(self.NUM_KEYS // 100))
+        hits = sum(1 for k in keys if k in hot)
+        assert hits > 0.1 * len(keys)
+
+    def test_boost_survives_shuffle_at_scale(self):
+        # The hot/cold base-probability spread is ~1000x at 1M keys
+        # (skew 0.5), so the boost factor must beat that spread for the
+        # key to stay hottest wherever the shuffle re-ranks it.  The
+        # *factor* follows the key; the absolute probability legitimately
+        # changes with the key's new rank.
+        dist = ZipfKeyDistribution(self.NUM_KEYS, skew=0.5, seed=9)
+        victim = dist.hottest_keys(1)[0]
+        before = dist.probability(victim)
+        dist.boost([victim], 1e6)
+        assert dist.probability(victim) > 100 * before
+        for _ in range(3):
+            dist.shuffle()
+            # Boosts follow keys, not ranks — still the hottest key,
+            # still holding dominant probability mass.
+            assert dist.hottest_keys(1)[0] == victim
+            assert dist.probability(victim) > 0.25
+
+    def test_boosted_batches_hit_boosted_keys(self):
+        dist = ZipfKeyDistribution(self.NUM_KEYS, skew=0.3, seed=4)
+        targets = [0, 123_456, 999_999]
+        dist.boost(targets, 1e5)
+        keys = dist.sample(10_000)
+        hits = sum(1 for k in keys if k in set(targets))
+        assert hits > 1_000  # boosted mass dominates the draw
+        dist.clear_boost()
+        keys = dist.sample(10_000)
+        hits = sum(1 for k in keys if k in set(targets))
+        assert hits < 100
+
+    def test_probabilities_normalized_after_boost_and_shuffle(self):
+        dist = ZipfKeyDistribution(self.NUM_KEYS, skew=0.6, seed=2)
+        dist.boost([7, 11], 42.0)
+        dist.shuffle()
+        table = dist._boosted_probabilities
+        assert table is not None
+        assert float(table.sum()) == pytest.approx(1.0)
+        assert float(table.min()) > 0.0
+
+    def test_rng_state_roundtrip_resumes_stream(self):
+        dist = ZipfKeyDistribution(self.NUM_KEYS, skew=0.5, seed=17)
+        state = dist.rng_state()
+        first = dist.sample(1000)
+        dist.set_rng_state(state)
+        assert dist.sample(1000) == first
