@@ -77,6 +77,7 @@ def _build_config(args: argparse.Namespace, paradigm: Paradigm) -> SystemConfig:
         forecast_horizon=getattr(args, "forecast_horizon", 3),
         proactive_headroom=getattr(args, "proactive_headroom", 1.25),
         fault_spec=getattr(args, "fault_spec", None),
+        network_profile=getattr(args, "net_profile", None),
         detection_delay=getattr(args, "detection_delay", 0.25),
         state_rebuild_bytes_per_s=getattr(args, "rebuild_mbps", 100.0) * 1e6,
         telemetry=bool(getattr(args, "telemetry_out", None)),
@@ -419,6 +420,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "--fault-spec", default=None,
         help="fault schedule: DSL text ('node_crash@30:node=5;...'), JSON, "
              "or a path to a spec file (see docs/faults.md)",
+    )
+    parser.add_argument(
+        "--net-profile", default=None, metavar="NAME|SPEC",
+        help="network realism profile: lan | wan | cloud, a JSON spec "
+             "file, or inline JSON (see docs/network.md); default: plain "
+             "constant-latency fabric",
     )
     parser.add_argument("--detection-delay", type=float, default=0.25,
                         help="seconds between a failure and recovery start")

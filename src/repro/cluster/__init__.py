@@ -8,13 +8,18 @@ a set of per-node full-duplex FIFO links with bandwidth and base latency.
 
 from repro.cluster.cores import CoreAllocationError, CoreManager
 from repro.cluster.network import NetworkFabric, TransferPurpose
-from repro.cluster.node import Cluster, Node
+from repro.cluster.node import Cluster, Node, NodeProfile
+from repro.cluster.profile import BUILTIN_PROFILES, LatencySpec, NetworkProfile
 
 __all__ = [
+    "BUILTIN_PROFILES",
     "Cluster",
     "CoreAllocationError",
     "CoreManager",
+    "LatencySpec",
     "NetworkFabric",
+    "NetworkProfile",
     "Node",
+    "NodeProfile",
     "TransferPurpose",
 ]

@@ -15,9 +15,13 @@ from repro.cluster.node import Node
 class CoreAllocationError(RuntimeError):
     """Raised when an allocation or release would violate capacity."""
 
+    __slots__ = ()
+
 
 class CoreManager:
     """Tracks free cores per node and per-owner holdings."""
+
+    __slots__ = ("_capacity", "_free", "_held", "_failed")
 
     def __init__(self, nodes: typing.Sequence[Node]) -> None:
         self._capacity = {node.node_id: node.num_cores for node in nodes}

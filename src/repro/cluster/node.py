@@ -1,7 +1,8 @@
-"""Physical nodes and the cluster aggregate."""
+"""Physical nodes, heterogeneity classes, and the cluster aggregate."""
 
 from __future__ import annotations
 
+import dataclasses
 import typing
 
 from repro.sim import Environment
@@ -9,6 +10,43 @@ from repro.sim import Environment
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cores import CoreManager
     from repro.cluster.network import NetworkFabric
+    from repro.cluster.profile import NetworkProfile
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class NodeProfile:
+    """A node heterogeneity class: compute speed plus link asymmetry.
+
+    Joins the existing ``speed_factor`` straggler knob with per-node
+    *network* characteristics: ``egress_factor``/``ingress_factor`` scale
+    the node's link bandwidths (asymmetric links, as on burstable cloud
+    instances), and ``latency_factor`` scales every latency draw touching
+    the node (the slower endpoint of a link wins).  All factors multiply
+    the fabric-wide baseline; ``1.0`` everywhere is a plain node.
+    """
+
+    name: str = "standard"
+    speed_factor: float = 1.0
+    egress_factor: float = 1.0
+    ingress_factor: float = 1.0
+    latency_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field in ("speed_factor", "egress_factor", "ingress_factor", "latency_factor"):
+            value = getattr(self, field)
+            if value <= 0:
+                raise ValueError(f"{field} must be positive, got {value}")
+
+    def to_dict(self) -> typing.Dict[str, typing.Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: typing.Mapping[str, typing.Any]) -> "NodeProfile":
+        known = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown NodeProfile keys: {sorted(unknown)}")
+        return cls(**dict(payload))
 
 
 class Node:
@@ -24,10 +62,14 @@ class Node:
     handling — they only ever see measured rates.
     """
 
-    __slots__ = ("node_id", "num_cores", "speed_factor", "alive")
+    __slots__ = ("node_id", "num_cores", "speed_factor", "alive", "profile")
 
     def __init__(
-        self, node_id: int, num_cores: int = 8, speed_factor: float = 1.0
+        self,
+        node_id: int,
+        num_cores: int = 8,
+        speed_factor: float = 1.0,
+        profile: typing.Optional[NodeProfile] = None,
     ) -> None:
         if num_cores < 1:
             raise ValueError(f"node needs at least one core, got {num_cores}")
@@ -37,6 +79,8 @@ class Node:
         self.num_cores = num_cores
         self.speed_factor = speed_factor
         self.alive = True
+        #: Heterogeneity class this node was built from (None = default).
+        self.profile = profile
 
     def __repr__(self) -> str:
         return f"Node({self.node_id}, cores={self.num_cores})"
@@ -45,6 +89,8 @@ class Node:
 class Cluster:
     """A set of nodes plus shared core accounting and network fabric."""
 
+    __slots__ = ("env", "nodes", "cores", "network", "network_profile")
+
     def __init__(
         self,
         env: Environment,
@@ -52,22 +98,47 @@ class Cluster:
         cores_per_node: int = 8,
         bandwidth_bps: float = 1e9,
         network_latency: float = 0.5e-3,
+        network_profile: typing.Optional[typing.Any] = None,
     ) -> None:
         from repro.cluster.cores import CoreManager
         from repro.cluster.network import NetworkFabric
+        from repro.cluster.profile import NetworkProfile
 
         if num_nodes < 1:
             raise ValueError(f"cluster needs at least one node, got {num_nodes}")
+        profile: typing.Optional[NetworkProfile] = None
+        if network_profile is not None:
+            profile = NetworkProfile.load(network_profile)
+        #: Resolved realism profile (None = plain constant-latency fabric).
+        self.network_profile = profile
+        node_profiles = (
+            profile.node_profiles(num_nodes) if profile is not None else None
+        )
         self.env = env
-        self.nodes: typing.List[Node] = [
-            Node(i, cores_per_node) for i in range(num_nodes)
-        ]
+        if node_profiles is None:
+            self.nodes: typing.List[Node] = [
+                Node(i, cores_per_node) for i in range(num_nodes)
+            ]
+        else:
+            self.nodes = [
+                Node(
+                    i,
+                    cores_per_node,
+                    speed_factor=node_profiles[i].speed_factor,
+                    profile=node_profiles[i],
+                )
+                for i in range(num_nodes)
+            ]
         self.cores = CoreManager(self.nodes)
+        if profile is not None and profile.bandwidth_bps is not None:
+            bandwidth_bps = profile.bandwidth_bps
         self.network = NetworkFabric(
             env,
             num_nodes=num_nodes,
             bandwidth_bytes_per_s=bandwidth_bps / 8.0,
             base_latency=network_latency,
+            profile=profile,
+            node_profiles=node_profiles,
         )
 
     @property

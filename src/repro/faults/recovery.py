@@ -133,6 +133,8 @@ class FaultCoordinator:
             self.env.process(self._core_failure(event))
         elif event.kind is FaultKind.LINK_DEGRADE:
             self.env.process(self._link_degrade(event))
+        elif event.kind is FaultKind.LATENCY_SPIKE:
+            self.env.process(self._latency_spike(event))
         elif event.kind is FaultKind.PARTITION:
             self.env.process(self._partition(event))
         elif event.kind is FaultKind.EXECUTOR_STALL:
@@ -378,6 +380,18 @@ class FaultCoordinator:
         yield self.env.timeout(event.duration)
         network.set_bandwidth_factor(event.node, previous)
         self._event("link_restored", f"node={event.node}"
+        )
+
+    def _latency_spike(self, event: FaultEvent) -> typing.Generator:
+        network = self.system.cluster.network
+        previous = network.latency_spike(event.node)
+        network.set_latency_spike(event.node, event.factor)
+        self._event("latency_spike",
+            f"node={event.node} factor={event.factor}",
+        )
+        yield self.env.timeout(event.duration)
+        network.set_latency_spike(event.node, previous)
+        self._event("latency_restored", f"node={event.node}"
         )
 
     def _partition(self, event: FaultEvent) -> typing.Generator:

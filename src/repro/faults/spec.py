@@ -13,6 +13,7 @@ DSL grammar (events separated by ``;``)::
     node_crash@30:node=5
     core_failure@12:node=2
     link_degrade@10:node=1,factor=0.25,duration=5
+    latency_spike@40:node=2,factor=8,duration=3
     partition@20:node=3,duration=2
     executor_stall@15:target=calculator:0,factor=0.2,duration=8
 """
@@ -36,13 +37,19 @@ class FaultKind(enum.Enum):
     NODE_CRASH = "node_crash"  # fail-stop: node and all its memory gone
     CORE_FAILURE = "core_failure"  # one core dies; the node's processes live
     LINK_DEGRADE = "link_degrade"  # gray network: bandwidth times `factor`
+    LATENCY_SPIKE = "latency_spike"  # tail spike: node latency times `factor`
     PARTITION = "partition"  # node unreachable for `duration` seconds
     EXECUTOR_STALL = "executor_stall"  # gray failure: executor runs at `factor` speed
 
 
 #: Kinds that apply an effect for a window rather than instantaneously.
 TRANSIENT_KINDS = frozenset(
-    {FaultKind.LINK_DEGRADE, FaultKind.PARTITION, FaultKind.EXECUTOR_STALL}
+    {
+        FaultKind.LINK_DEGRADE,
+        FaultKind.LATENCY_SPIKE,
+        FaultKind.PARTITION,
+        FaultKind.EXECUTOR_STALL,
+    }
 )
 
 

@@ -28,8 +28,8 @@ from repro.lint.core import Finding, ParsedModule, Rule
 
 #: Modules whose classes are on the per-tuple hot path.
 HOT_PATH_SUFFIXES = (
-    "repro/sim/", "repro/executors/", "repro/state/", "repro/topology/batch.py",
-    "repro/topology/keys.py",
+    "repro/sim/", "repro/executors/", "repro/state/", "repro/cluster/",
+    "repro/topology/batch.py", "repro/topology/keys.py",
 )
 
 #: Base-class names that manage instance layout themselves.
@@ -125,7 +125,11 @@ class Hot001(Rule):
         classes: typing.Mapping[str, ast.ClassDef],
     ) -> typing.Iterator[Finding]:
         base_names = [b.id for b in cls.bases if isinstance(b, ast.Name)]
-        if any(name in _EXEMPT_BASES for name in base_names):
+        # ``enum.Enum``-style attribute bases count for the exemption too.
+        exempt_candidates = set(base_names) | {
+            b.attr for b in cls.bases if isinstance(b, ast.Attribute)
+        }
+        if exempt_candidates & _EXEMPT_BASES:
             return
         own_slots = _literal_slots(cls)
         is_slotted_dataclass = _dataclass_slots(cls)

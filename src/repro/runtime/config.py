@@ -32,6 +32,11 @@ class SystemConfig:
     cores_per_node: int = 8
     bandwidth_bps: float = 1e9
     network_latency: float = 0.5e-3
+    #: Network realism profile (docs/network.md): a
+    #: :class:`repro.cluster.NetworkProfile`, a builtin name
+    #: (``lan`` | ``wan`` | ``cloud``), a JSON spec/path, or None —
+    #: the plain constant-latency fabric, bit-identical to older builds.
+    network_profile: typing.Optional[typing.Any] = None
     #: Source instances (the upstream executors of the first operator).
     source_instances: int = 8
     #: Scheduler cadence and model target (Elasticutor / naive-EC).
@@ -152,6 +157,11 @@ class SystemConfig:
             raise ValueError("state_rebuild_bytes_per_s must be positive")
         if self.static_restart_seconds < 0:
             raise ValueError("static_restart_seconds must be >= 0")
+        if self.network_profile is not None:
+            from repro.cluster.profile import NetworkProfile
+
+            if not isinstance(self.network_profile, NetworkProfile):
+                self.network_profile = NetworkProfile.load(self.network_profile)
         if self.fault_spec is not None:
             from repro.faults.spec import FaultSpec, FaultSpecError
 

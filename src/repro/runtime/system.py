@@ -22,6 +22,7 @@ from repro.executors import (
     SubspaceRouter,
 )
 from repro.faults import FaultCoordinator, FaultInjector
+from repro.faults.spec import FaultKind
 from repro.metrics import LatencyReservoir, RecoveryStats, TimeSeries
 from repro.runtime.config import Paradigm, SystemConfig
 from repro.scheduler import DynamicScheduler
@@ -207,7 +208,16 @@ class StreamSystem:
             cores_per_node=self.config.cores_per_node,
             bandwidth_bps=self.config.bandwidth_bps,
             network_latency=self.config.network_latency,
+            network_profile=self.config.network_profile,
         )
+        if self.config.fault_spec is not None and any(
+            event.kind is FaultKind.PARTITION
+            for event in self.config.fault_spec.events
+        ):
+            # Partitions must stall transfers already in flight, not just
+            # new reservations (docs/faults.md) — arm the delivery guard
+            # before any channel is built so every transfer is re-checked.
+            self.cluster.network.enable_delivery_guard()
         self.reassignment_stats = ReassignmentStats()
         self.sink_latency = LatencyReservoir(capacity=8192, seed=11)
         self.sink_residence = LatencyReservoir(capacity=8192, seed=13)

@@ -42,6 +42,15 @@ class AssignmentInput:
     data_rates: typing.Dict[str, float]  # total in+out bytes/s per executor
     node_capacity: typing.Dict[int, int]  # c_i
     phi: float = DEFAULT_PHI
+    #: Optional expected-seconds converter ``(src_node, dst_node, nbytes)
+    #: -> seconds`` — usually ``NetworkFabric.transfer_duration_estimate``.
+    #: When set, Algorithm 1's transition costs are measured in *expected
+    #: migration seconds* under the configured fabric (so a gray-degraded
+    #: or burstable destination prices its slower links into placement)
+    #: instead of raw moved bytes, the homogeneous-fabric equivalent.
+    transfer_seconds: typing.Optional[
+        typing.Callable[[int, int, float], float]
+    ] = None
 
     def __post_init__(self) -> None:
         for name, k in self.targets.items():
@@ -56,6 +65,29 @@ class AssignmentInput:
 
     def is_data_intensive(self, name: str) -> bool:
         return self.data_intensity(name) > self.phi
+
+    def _as_cost(self, moved: float, src_node: int, dst_node: int) -> float:
+        """Moved bytes -> scheduling cost (seconds when a fabric is wired)."""
+        if self.transfer_seconds is None or moved <= 0.0 or moved == math.inf:
+            return moved
+        return self.transfer_seconds(src_node, dst_node, moved)
+
+    def alloc_cost(self, name: str, node: int, total: int, on_node: int) -> float:
+        """C+_ij: cost of granting one core of ``name`` on ``node``.
+
+        The state that rebalances toward the new core migrates from the
+        executor's local (state-homing) node.
+        """
+        moved = _alloc_cost(self.state_bytes.get(name, 0.0), total, on_node)
+        return self._as_cost(moved, self.local_node.get(name, node), node)
+
+    def dealloc_cost(self, name: str, node: int, total: int, on_node: int) -> float:
+        """C-_ij: cost of revoking one core of ``name`` from ``node``.
+
+        The revoked core's shard state migrates back toward the local node.
+        """
+        moved = _dealloc_cost(self.state_bytes.get(name, 0.0), total, on_node)
+        return self._as_cost(moved, node, self.local_node.get(name, node))
 
 
 def _alloc_cost(state: float, total: int, on_node: int) -> float:
@@ -125,9 +157,7 @@ def greedy_assignment(
                     on_node = assignment[j2].get(node, 0)
                     if on_node == 0:
                         continue
-                    cost = _dealloc_cost(
-                        inp.state_bytes.get(j2, 0.0), totals[j2], on_node
-                    )
+                    cost = inp.dealloc_cost(j2, node, totals[j2], on_node)
                     if cost < donor_cost:
                         donor_cost = cost
                         donor = j2
@@ -141,11 +171,10 @@ def greedy_assignment(
             else:
                 best: typing.Optional[typing.Tuple[typing.Optional[str], int]] = None
                 best_cost = math.inf
-                state_j = inp.state_bytes.get(j, 0.0)
                 for node, available in free.items():
                     if available > 0:
-                        cost = _alloc_cost(
-                            state_j, totals[j], assignment[j].get(node, 0)
+                        cost = inp.alloc_cost(
+                            j, node, totals[j], assignment[j].get(node, 0)
                         ) if totals[j] > 0 else 0.0
                         if cost < best_cost:
                             best_cost = cost
@@ -153,14 +182,13 @@ def greedy_assignment(
                 for j2 in over_provisioned():
                     if j2 == j or j2 in under_intensive:
                         continue
-                    state_j2 = inp.state_bytes.get(j2, 0.0)
                     for node, on_node in assignment[j2].items():
                         if on_node == 0:
                             continue
-                        cost = _dealloc_cost(state_j2, totals[j2], on_node)
+                        cost = inp.dealloc_cost(j2, node, totals[j2], on_node)
                         if totals[j] > 0:
-                            cost += _alloc_cost(
-                                state_j, totals[j], assignment[j].get(node, 0)
+                            cost += inp.alloc_cost(
+                                j, node, totals[j], assignment[j].get(node, 0)
                             )
                         if cost < best_cost:
                             best_cost = cost
@@ -180,10 +208,9 @@ def greedy_assignment(
     # every latency-justified core), cheapest deallocation first.
     for j in names:
         while totals[j] > inp.targets[j]:
-            state_j = inp.state_bytes.get(j, 0.0)
             node = min(
                 (n for n, c in assignment[j].items() if c > 0),
-                key=lambda n: _dealloc_cost(state_j, totals[j], assignment[j][n]),
+                key=lambda n: inp.dealloc_cost(j, n, totals[j], assignment[j][n]),
             )
             revoke(j, node)
             free[node] += 1

@@ -194,6 +194,7 @@ class DynamicScheduler:
                 budget = max(len(live), budget - 2)
             allocation = self.allocator.allocate(demands, total_cores=budget)
             targets = self._damp_shrinks(allocation.cores, budget)
+            network = self.cluster.network
             inp = AssignmentInput(
                 targets=targets,
                 current={ex.name: ex.cores_by_node() for ex in live},
@@ -202,6 +203,15 @@ class DynamicScheduler:
                 data_rates={ex.name: ex.metrics.data_rate(now) for ex in live},
                 node_capacity=self._capacity_less_reserved(),
                 phi=self.phi,
+                # Under a realism profile migration cost is priced in
+                # expected seconds on the actual links (jitter mean,
+                # asymmetric per-node bandwidth); the plain fabric keeps
+                # the byte-cost model bit-identical to earlier builds.
+                transfer_seconds=(
+                    network.transfer_duration_estimate
+                    if self.cluster.network_profile is not None
+                    else None
+                ),
             )
             matrix, phi_used = strategy.assign(inp)
             wall_seconds = time.perf_counter() - wall_started  # repro: allow[DET001]: solver wall-clock side channel

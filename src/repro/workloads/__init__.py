@@ -20,6 +20,7 @@ from repro.workloads.zipf import (
     KeyShuffler,
     ZipfKeyDistribution,
 )
+from repro.workloads.join import StatelessMapWorkload, WindowedJoinWorkload
 from repro.workloads.micro import MicroBenchmarkWorkload
 from repro.workloads.replay import RecordedWorkload
 from repro.workloads.sse import ScheduledBurst, SSEWorkload
@@ -32,5 +33,7 @@ __all__ = [
     "RecordedWorkload",
     "ScheduledBurst",
     "SSEWorkload",
+    "StatelessMapWorkload",
+    "WindowedJoinWorkload",
     "ZipfKeyDistribution",
 ]

@@ -1,0 +1,32 @@
+"""Fixture: an unseeded fabric jitter stream must trip DET001.
+
+Mirrors the mistake the network-realism fabric guards against — drawing
+link latency from OS-entropy generators instead of the profile's seeded
+PCG64 stream (``NetworkProfile.seed``), which would make two same-seed
+runs diverge on every stochastic delivery.
+"""
+
+import numpy as np
+
+
+class UnseededFabric:
+    """A fabric whose jitter stream cannot be replayed."""
+
+    def __init__(self, base_latency):
+        self.base_latency = base_latency
+        self.rng = np.random.default_rng()  # OS entropy, unseeded
+
+    def draw_latency(self):
+        jitter = np.random.random()  # hidden global RandomState
+        return self.base_latency + jitter
+
+
+class SeededFabricIsFine:
+    """The correct idiom: the profile seed pins the whole stream."""
+
+    def __init__(self, base_latency, seed):
+        self.base_latency = base_latency
+        self.rng = np.random.Generator(np.random.PCG64(seed))
+
+    def draw_latency(self):
+        return self.base_latency + self.rng.random()

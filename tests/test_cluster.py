@@ -144,10 +144,18 @@ class TestNetworkFabric:
         fabric = NetworkFabric(env, num_nodes=2)
         fabric.transfer(0, 1, 100, purpose=TransferPurpose.STATE_MIGRATION)
         fabric.transfer(0, 1, 50, purpose=TransferPurpose.REMOTE_TASK)
-        fabric.transfer(0, 0, 999, purpose=TransferPurpose.REMOTE_TASK)  # local: free
+        fabric.transfer(0, 0, 999, purpose=TransferPurpose.REMOTE_TASK)
         env.run()
+        # Table-2 network accounting counts only bytes that cross a NIC;
+        # same-node transfers land in the separate local bucket.
         assert fabric.bytes_by_purpose[TransferPurpose.STATE_MIGRATION].total == 100
         assert fabric.bytes_by_purpose[TransferPurpose.REMOTE_TASK].total == 50
+        assert (
+            fabric.local_bytes_by_purpose[TransferPurpose.REMOTE_TASK].total == 999
+        )
+        assert (
+            fabric.local_bytes_by_purpose[TransferPurpose.STATE_MIGRATION].total == 0
+        )
 
     def test_negative_size_rejected(self, env):
         fabric = NetworkFabric(env, num_nodes=2)
@@ -162,3 +170,83 @@ class TestNetworkFabric:
         assert fabric.transfer_duration_estimate(0, 0, 1e6) == pytest.approx(
             NetworkFabric.LOCAL_DELIVERY_LATENCY
         )
+
+    def test_estimate_matches_actual_on_degraded_destination(self, env):
+        """Regression: the estimate must price the *destination's* gray
+        degradation (min over both endpoints, like ``transfer`` itself),
+        so an uncontended transfer onto a degraded node matches its
+        estimate exactly instead of undershooting 4x."""
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.01
+        )
+        fabric.set_bandwidth_factor(1, 0.25)
+        estimate = fabric.transfer_duration_estimate(0, 1, 1e6)
+        done = []
+        fabric.transfer(0, 1, 1e6).callbacks.append(lambda ev: done.append(env.now))
+        env.run()
+        assert done[0] == pytest.approx(estimate)
+        assert estimate == pytest.approx(4.0 + 0.01)
+
+    def test_estimate_matches_actual_on_degraded_source(self, env):
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.01
+        )
+        fabric.set_bandwidth_factor(0, 0.5)
+        estimate = fabric.transfer_duration_estimate(0, 1, 1e6)
+        done = []
+        fabric.transfer(0, 1, 1e6).callbacks.append(lambda ev: done.append(env.now))
+        env.run()
+        assert done[0] == pytest.approx(estimate)
+        assert estimate == pytest.approx(2.0 + 0.01)
+
+    def test_partition_delays_new_reservations(self, env):
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.0
+        )
+        fabric.partition_until(1, until=5.0)
+        done = []
+        fabric.transfer(0, 1, 1_000_000).callbacks.append(
+            lambda ev: done.append(env.now)
+        )
+        env.run()
+        assert done[0] == pytest.approx(6.0)  # starts at heal, then 1s transfer
+
+    def test_mid_flight_partition_delays_guarded_delivery(self, env):
+        """A partition imposed *after* the reservation holds an in-flight
+        transfer until it heals when the delivery guard is armed (TCP
+        semantics per docs/faults.md: delayed, not dropped)."""
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.0
+        )
+        fabric.enable_delivery_guard()
+        done = []
+        fabric.transfer(0, 1, 1_000_000).callbacks.append(
+            lambda ev: done.append(env.now)
+        )
+
+        def impose(_ev):
+            fabric.partition_until(1, until=4.0)
+
+        env.timeout(0.5).callbacks.append(impose)
+        env.run()
+        assert done[0] == pytest.approx(4.0)  # held to the heal horizon
+
+    def test_mid_flight_partition_ignored_without_guard(self, env):
+        """Default fabrics skip the delivery re-check (hot-path purity);
+        the runtime arms the guard whenever the fault spec contains a
+        partition, so unguarded runs never see one mid-flight."""
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.0
+        )
+        assert not fabric.delivery_guard_enabled
+        done = []
+        fabric.transfer(0, 1, 1_000_000).callbacks.append(
+            lambda ev: done.append(env.now)
+        )
+
+        def impose(_ev):
+            fabric.partition_until(1, until=4.0)
+
+        env.timeout(0.5).callbacks.append(impose)
+        env.run()
+        assert done[0] == pytest.approx(1.0)

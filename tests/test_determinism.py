@@ -11,7 +11,7 @@ import pytest
 from repro import FaultSpec, MicroBenchmarkWorkload, Paradigm, StreamSystem, SystemConfig
 
 
-def run_once(paradigm, seed, fault_spec=None):
+def run_once(paradigm, seed, fault_spec=None, net_profile=None):
     workload = MicroBenchmarkWorkload(
         rate=5000, num_keys=1000, skew=0.8, omega=4.0, batch_size=20, seed=seed
     )
@@ -20,7 +20,7 @@ def run_once(paradigm, seed, fault_spec=None):
     )
     config = SystemConfig(
         paradigm=paradigm, num_nodes=4, cores_per_node=4, source_instances=2,
-        fault_spec=fault_spec,
+        fault_spec=fault_spec, network_profile=net_profile,
     )
     system = StreamSystem(topology, workload, config)
     result = system.run(duration=15.0, warmup=5.0)
@@ -84,6 +84,38 @@ class TestDeterminism:
         assert first.to_dsl() != FaultSpec.random(
             seed=12, duration=30.0, num_nodes=4
         ).to_dsl()
+
+    @pytest.mark.parametrize("net_profile", ["wan", "cloud"])
+    def test_same_seed_same_run_under_jitter(self, net_profile):
+        """The fabric's jitter stream is a seeded PCG64 generator, so
+        stochastic latency (uniform under wan, lognormal under cloud) and
+        heterogeneous node classes replay exactly."""
+        first = fingerprint(
+            run_once(Paradigm.ELASTICUTOR, seed=7, net_profile=net_profile)
+        )
+        second = fingerprint(
+            run_once(Paradigm.ELASTICUTOR, seed=7, net_profile=net_profile)
+        )
+        assert first == second
+
+    def test_net_profile_changes_run(self):
+        plain = fingerprint(run_once(Paradigm.ELASTICUTOR, seed=7))
+        wan = fingerprint(run_once(Paradigm.ELASTICUTOR, seed=7, net_profile="wan"))
+        assert plain != wan
+
+    def test_latency_spike_deterministic(self):
+        spec = "latency_spike@6:node=1,factor=8,duration=3"
+        first = fingerprint(
+            run_once(Paradigm.ELASTICUTOR, seed=7, fault_spec=spec,
+                     net_profile="wan")
+        )
+        second = fingerprint(
+            run_once(Paradigm.ELASTICUTOR, seed=7, fault_spec=spec,
+                     net_profile="wan")
+        )
+        assert first == second
+        recovery = dict(first[-2])
+        assert recovery["faults_injected"] == 1
 
     def test_reassignment_trace_deterministic(self):
         def trace(seed):

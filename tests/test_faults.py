@@ -48,6 +48,13 @@ class TestFaultSpec:
         assert spec.events[1].node == 5
         assert spec.first_fault_time == 10.0
 
+    def test_parse_latency_spike(self):
+        spec = FaultSpec.parse("latency_spike@40:node=2,factor=8,duration=3")
+        event = spec.events[0]
+        assert event.kind is FaultKind.LATENCY_SPIKE
+        assert (event.node, event.factor, event.duration) == (2, 8.0, 3.0)
+        assert FaultSpec.parse(spec.to_dsl()).to_dsl() == spec.to_dsl()
+
     def test_parse_empty(self):
         spec = FaultSpec.parse("   ")
         assert len(spec) == 0
@@ -103,6 +110,7 @@ class TestFaultSpec:
             "node_crash@5",  # missing node
             "link_degrade@5:node=1,factor=0.5",  # transient without duration
             "link_degrade@5:node=1,factor=0,duration=2",  # factor <= 0
+            "latency_spike@5:node=1,factor=8",  # transient without duration
             "executor_stall@5:factor=0.5,duration=2",  # stall without target
             "node_crash@5:node",  # missing '='
         ],
@@ -223,6 +231,19 @@ class TestNetworkFaults:
         with pytest.raises(ValueError):
             fabric.set_bandwidth_factor(0, 0.0)
 
+    def test_latency_spike_stretches_then_restores(self):
+        env = Environment()
+        fabric = NetworkFabric(
+            env, num_nodes=2, bandwidth_bytes_per_s=1e6, base_latency=0.01
+        )
+        fabric.set_latency_spike(1, 10.0)
+        done = []
+        fabric.transfer(0, 1, 0).callbacks.append(lambda ev: done.append(env.now))
+        env.run()
+        assert done[0] == pytest.approx(0.1)  # 10x the 10 ms base latency
+        fabric.set_latency_spike(1, 1.0)
+        assert fabric.expected_latency(0, 1) == pytest.approx(0.01)
+
 
 def run_faulted(paradigm, fault_spec, rate=6000, duration=25.0):
     workload = MicroBenchmarkWorkload(
@@ -304,6 +325,22 @@ class TestConservationUnderFaults:
         assert result.recovery["tuples_lost"] == 0
         unaccounted = emitted_tuples(system) - processed_tuples(system)
         assert 0 <= unaccounted < 5000
+
+    def test_latency_spike_is_transient_and_lossless(self):
+        system, result = run_faulted(
+            Paradigm.ELASTICUTOR, "latency_spike@8:node=1,factor=20,duration=4"
+        )
+        assert result.recovery["faults_injected"] == 1
+        assert result.recovery["tuples_lost"] == 0  # gray failure, no loss
+        kinds = {event.kind for event in system.recovery_stats.events}
+        assert "latency_spike" in kinds
+        assert "latency_restored" in kinds
+        # The spike is fully restored: no lingering multiplier at the end.
+        network = system.cluster.network
+        assert all(
+            network.latency_spike(node) == 1.0
+            for node in range(system.cluster.num_nodes)
+        )
 
     def test_executor_stall_degrades_then_restores(self):
         healthy = run_faulted(Paradigm.ELASTICUTOR, None)[1]

@@ -47,6 +47,13 @@ class TestFixturesTripRules:
         assert "hidden global" in messages
         assert "without a seed" in messages
 
+    def test_det001_network_fixture(self):
+        findings = lint_fixture("det001_network_bad.py")
+        assert rules_of(findings) == {"DET001"}
+        # One unseeded default_rng() plus one global-state draw; the
+        # seeded PCG64 fabric idiom below them stays clean.
+        assert len(findings) == 2
+
     def test_hot001_fixture(self):
         findings = lint_fixture("repro/executors/hot001_bad.py")
         assert rules_of(findings) == {"HOT001"}

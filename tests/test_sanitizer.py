@@ -189,6 +189,28 @@ class TestElasticIntegration:
         assert executor._san is None
         assert logic.count == 400
 
+    def test_sanitized_run_clean_under_heterogeneous_fabric(self, monkeypatch):
+        """Jittered WAN latency plus asymmetric node classes reorder the
+        raw delivery draws; the FIFO clamp must keep the migration
+        protocol race-free under REPRO_SANITIZE=1 end to end."""
+        from repro import MicroBenchmarkWorkload, Paradigm, StreamSystem, SystemConfig
+
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        workload = MicroBenchmarkWorkload(
+            rate=4000, num_keys=800, skew=0.9, omega=6.0, seed=5
+        )
+        topology = workload.build_topology(
+            executors_per_operator=4, shards_per_executor=16
+        )
+        config = SystemConfig(
+            paradigm=Paradigm.ELASTICUTOR, num_nodes=4, cores_per_node=4,
+            source_instances=2, network_profile="cloud",
+        )
+        system = StreamSystem(topology, workload, config)
+        result = system.run(duration=10.0, warmup=2.0)
+        assert result.processed_tuples > 0
+        assert result.migration_bytes > 0  # shard churn actually happened
+
     def test_corrupted_ownership_is_caught_live(self, monkeypatch):
         """Simulate the bug the sanitizer exists for: mid-churn, force a
         second task to touch a shard another task is draining."""
