@@ -193,6 +193,73 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _git_changed_paths(base: str) -> typing.Optional[typing.Set[str]]:
+    """Repo-relative ``.py`` paths changed vs ``base`` (plus untracked)."""
+    import subprocess
+
+    try:
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base],
+            capture_output=True, text=True, check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    return {
+        line.strip()
+        for line in (diff.stdout + untracked.stdout).splitlines()
+        if line.strip().endswith(".py")
+    }
+
+
+def _lint_model(args: argparse.Namespace, paths: typing.List[str]) -> int:
+    """`repro lint --model`: exhaustively check the protocol tables."""
+    import pathlib
+
+    from repro.lint import model as model_mod
+    from repro.lint.core import ParsedModule, _relpath, collect_files
+    from repro.lint.graph import build_project
+
+    modules = []
+    for file in collect_files([pathlib.Path(p) for p in paths]):
+        try:
+            modules.append(ParsedModule(file, _relpath(file)))
+        except (SyntaxError, UnicodeDecodeError):
+            continue
+    project = build_project(modules, cache_path=args.graph_cache)
+    violations = model_mod.check_protocols(modules, project=project)
+    if args.json:
+        print(json.dumps(
+            [
+                {"table": v.table, "kind": v.kind, "message": v.message,
+                 "trace": list(v.trace)}
+                for v in violations
+            ],
+            indent=2,
+        ))
+        return 1 if violations else 0
+    bad_tables = {v.table for v in violations}
+    for name in sorted(model_mod.TABLES):
+        table = model_mod.TABLES[name]
+        edges = sum(len(d) for d in table.transitions.values())
+        if name in bad_tables:
+            print(f"protocol {name}: FAILED")
+        else:
+            print(
+                f"protocol {name}: {len(table.states)} states, "
+                f"{edges} transitions — deadlock-free, terminating, "
+                "fault-live, every transition exercised"
+            )
+    for violation in violations:
+        print(violation.format())
+    if violations:
+        print(f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the repo's AST invariant checks (docs/static-analysis.md)."""
     from repro.lint import ALL_RULES, run_lint
@@ -201,8 +268,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
         for factory in ALL_RULES:
             rule = factory()
             print(f"{rule.name}  {rule.description}")
+        print("SUP001  every inline suppression carries a justification")
+        print("SUP002  every justified suppression still silences a finding")
         return 0
     paths = args.paths or ["src/repro"]
+    if args.model:
+        return _lint_model(args, paths)
+    if args.graph_report:
+        from repro.lint.graph import project_from_paths
+
+        project = project_from_paths(paths, cache_path=args.graph_cache)
+        print(project.unresolved_report())
+        return 0
     selected = None
     if args.select:
         wanted = {name.strip().upper() for name in args.select.split(",")}
@@ -211,7 +288,20 @@ def cmd_lint(args: argparse.Namespace) -> int:
         if unknown:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
-    findings = run_lint(paths, rules=selected)
+    changed = None
+    if args.changed is not None:
+        changed = _git_changed_paths(args.changed)
+        if changed is None:
+            print("--changed requires a git checkout", file=sys.stderr)
+            return 2
+    stats: typing.Dict[str, int] = {}
+    findings = run_lint(
+        paths, rules=selected, graph_cache=args.graph_cache,
+        changed=changed, stats=stats,
+    )
+    if stats:
+        summary = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()))
+        print(f"graph: {summary}", file=sys.stderr)
     if args.json:
         print(json.dumps(
             [
@@ -587,6 +677,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="print the rule catalog and exit")
     lint_parser.add_argument("--json", action="store_true",
                              help="machine-readable findings")
+    lint_parser.add_argument("--model", action="store_true",
+                             help="model-check the protocol transition tables "
+                                  "(deadlock/termination/fault-product/dead "
+                                  "transitions) instead of linting")
+    lint_parser.add_argument("--graph-cache", metavar="PATH",
+                             help="JSON call-graph summary cache keyed by "
+                                  "file-content fingerprints")
+    lint_parser.add_argument("--changed", nargs="?", const="HEAD",
+                             metavar="BASE",
+                             help="only report findings in files changed vs "
+                                  "BASE (default HEAD) and their reverse "
+                                  "call-graph dependents")
+    lint_parser.add_argument("--graph-report", action="store_true",
+                             help="print call-graph statistics and the "
+                                  "unresolved-edge report, then exit")
     lint_parser.set_defaults(func=cmd_lint)
     return parser
 

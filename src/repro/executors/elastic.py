@@ -210,7 +210,7 @@ class _EmitterLoop:
         event = group.submit_event(self._batch, self.local_node, self.sender)
         if event is None:
             # Gate closed: the generator form can wait it open.
-            event = self.env.process(
+            event = self.env.process(  # repro: allow[SIM001]: gate-closed slow path — one process frame per reopen wait, not per tuple
                 group.submit(self._batch, self.local_node, self.sender)
             )
         self._waiting = event

@@ -336,7 +336,9 @@ class _SourceLoop:
         event = group.submit_event(self._batch, src.node_id, src.sender)
         if event is None:
             # Gate closed: the generator form can wait it open.
-            event = self.env.process(group.submit(self._batch, src.node_id, src.sender))
+            event = self.env.process(  # repro: allow[SIM001]: gate-closed slow path — one process frame per reopen wait, not per tuple
+                group.submit(self._batch, src.node_id, src.sender)
+            )
         event.callbacks.append(self._on_sent_cb)
 
     def _on_sent(self, _event: typing.Any) -> None:

@@ -28,6 +28,7 @@ from repro.executors.group import ElasticGroup
 from repro.executors.rc import InFlightCounter
 from repro.executors.subspace import SubspaceRouter, slot_of_key
 from repro.executors.task import STOP
+from repro.protocol import RC_SYNC
 from repro.sim import Environment
 from repro.topology.keys import shard_of_key
 
@@ -198,25 +199,36 @@ class HybridController:
         # grab it while the operator drains.
         reservation = f"__hybrid_split_{self._next_index}"
         self.cluster.cores.allocate(reservation, target_node, 1)
-        yield from self._synchronize()
-        # Lock out the executor's own balancer during state surgery.
-        yield executor._control.request()
+        # The split is a full RC-style global synchronization; walk the
+        # checked-in table so an out-of-order refactor fails fast.
+        proto = RC_SYNC.tracker()
         try:
-            # Hand the reserved core to the factory (same event: atomic).
-            self.cluster.cores.release(reservation, target_node, 1)
-            sibling = self.executor_factory(self._next_index, target_node)
-            self._next_index += 1
-            sibling.operator_in_flight = self.group.in_flight
-            moved_slots = slots[len(slots) // 2:]
-            yield from self._move_subspace(executor, sibling, moved_slots)
-            self.router.reassign_slots(moved_slots, sibling)
-            self.group.executors.append(sibling)
-            if self.scheduler is not None:
-                self.scheduler.executors.append(sibling)
-            self.splits += 1
+            yield from self._synchronize()
+            proto.advance("pause")
+            proto.advance("drain")
+            # Lock out the executor's own balancer during state surgery.
+            yield executor._control.request()
+            try:
+                # Hand the reserved core to the factory (same event: atomic).
+                self.cluster.cores.release(reservation, target_node, 1)
+                sibling = self.executor_factory(self._next_index, target_node)
+                self._next_index += 1
+                sibling.operator_in_flight = self.group.in_flight
+                moved_slots = slots[len(slots) // 2:]
+                yield from self._move_subspace(executor, sibling, moved_slots)
+                proto.advance("migration")
+                self.router.reassign_slots(moved_slots, sibling)
+                self.group.executors.append(sibling)
+                if self.scheduler is not None:
+                    self.scheduler.executors.append(sibling)
+                self.splits += 1
+            finally:
+                executor._control.release()
+            yield from self._resume()
+            proto.advance("routing_update")
+            proto.advance("done")
         finally:
-            executor._control.release()
-        yield from self._resume()
+            proto.close("aborted")
 
     # -- merge ----------------------------------------------------------------
 
@@ -226,22 +238,31 @@ class HybridController:
         """Fold ``victim``'s key subspace into ``survivor`` and retire it."""
         if survivor is victim:
             raise ValueError("cannot merge an executor with itself")
-        yield from self._synchronize()
-        yield survivor._control.request()
-        yield victim._control.request()
+        proto = RC_SYNC.tracker()
         try:
-            moved_slots = self.router.slots_of(victim)
-            yield from self._move_subspace(victim, survivor, moved_slots)
-            self.router.reassign_slots(moved_slots, survivor)
-            self.group.executors.remove(victim)
-            if self.scheduler is not None:
-                self.scheduler.remove_executor(victim)
-            yield from self._retire(victim)
-            self.merges += 1
+            yield from self._synchronize()
+            proto.advance("pause")
+            proto.advance("drain")
+            yield survivor._control.request()
+            yield victim._control.request()
+            try:
+                moved_slots = self.router.slots_of(victim)
+                yield from self._move_subspace(victim, survivor, moved_slots)
+                proto.advance("migration")
+                self.router.reassign_slots(moved_slots, survivor)
+                self.group.executors.remove(victim)
+                if self.scheduler is not None:
+                    self.scheduler.remove_executor(victim)
+                yield from self._retire(victim)
+                self.merges += 1
+            finally:
+                victim._control.release()
+                survivor._control.release()
+            yield from self._resume()
+            proto.advance("routing_update")
+            proto.advance("done")
         finally:
-            victim._control.release()
-            survivor._control.release()
-        yield from self._resume()
+            proto.close("aborted")
 
     def _retire(self, executor: ElasticExecutor) -> typing.Generator:
         """Stop all tasks and release the executor's cores."""

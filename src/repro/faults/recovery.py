@@ -256,6 +256,17 @@ class FaultCoordinator:
             for proc in procs:
                 if not proc.triggered:
                     yield proc
+            if restarts and not rehomes and not rc_dead and not any(
+                executor.alive for executor, _ in restarts
+            ):
+                # Every repair path was a restart and none found capacity
+                # anywhere: park in the table's declared escape hatch
+                # instead of claiming a repair happened.  Losses keep
+                # counting; conservation remains exact.
+                self._event("recovery_stalled", f"node={node}")
+                span.finish(status="stalled", restarts=len(restarts))
+                proto.close("stalled")
+                return
             span.mark("repaired")
             proto.advance("repaired")
 
@@ -360,6 +371,12 @@ class FaultCoordinator:
                 yield self.env.process(
                     self._restart_executor(executor, parent_span=span)
                 )
+                if not executor.alive:
+                    # The restart found no capacity anywhere: the executor
+                    # stays down in the declared ``stalled`` phase.
+                    span.finish(status="stalled", path="restart")
+                    proto.close("stalled")
+                    return
                 span.mark("repaired")
                 proto.advance("repaired")
                 span.finish(status="ok", path="restart")

@@ -10,18 +10,36 @@ Rule      Invariant
 ========  ==============================================================
 DET001    No wall-clock / global-RNG / entropy / set-ordering
           nondeterminism inside ``src/repro`` (outside the allowlist).
+DET002    Interprocedural: no nondeterminism source taints an artifact
+          write (``results.jsonl``, BENCH emitters, telemetry exports)
+          through any resolved call chain; seeded RNG construction
+          sanitizes (:mod:`repro.lint.taint`).
 HOT001    Classes in hot modules declare ``__slots__`` and never grow
           attributes outside ``__init__``.
+OWN001    Interprocedural: shard-state mutation sites in
+          ``repro/executors/`` are reachable only through functions
+          attesting to an ownership epoch (protocol tracker or
+          sanitizer hook) — the static complement of
+          ``REPRO_SANITIZE=1``.
 TEL001    Every telemetry span is closed on all paths, and no expensive
           argument construction reaches a bus call unguarded by the
           ``NULL_BUS`` fast path.
 PROTO001  Control-plane state machines only perform transitions declared
           in :mod:`repro.protocol` (the checked-in tables).
 SIM001    Callback-compiled delivery paths never block, spawn processes,
-          or turn into generators.
+          or turn into generators — syntactically in the callback body
+          and transitively through the call graph.
 SUP001    Framework rule: every inline suppression carries a
           justification (not suppressible).
+SUP002    Framework rule: every justified suppression still silences a
+          finding; stale waivers must be deleted (not suppressible).
 ========  ==============================================================
+
+The interprocedural rules run on the whole-project call graph built by
+:mod:`repro.lint.graph` (cacheable via ``repro lint --graph-cache``).
+The protocol tables additionally get an exhaustive model check —
+deadlock freedom, termination, fault-product liveness, dead-transition
+detection — via ``repro lint --model`` (:mod:`repro.lint.model`).
 
 Findings are suppressed inline with ``# repro: allow[RULE]: reason`` on
 the offending line; the reason is mandatory.  See
@@ -30,7 +48,20 @@ the offending line; the reason is mandatory.  See
 
 from __future__ import annotations
 
-from repro.lint.core import Finding, ParsedModule, Rule, run_lint
+from repro.lint.core import (
+    Finding,
+    ParsedModule,
+    ProjectRule,
+    Rule,
+    run_lint,
+)
 from repro.lint.rules import ALL_RULES
 
-__all__ = ["ALL_RULES", "Finding", "ParsedModule", "Rule", "run_lint"]
+__all__ = [
+    "ALL_RULES",
+    "Finding",
+    "ParsedModule",
+    "ProjectRule",
+    "Rule",
+    "run_lint",
+]

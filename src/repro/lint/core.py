@@ -11,7 +11,11 @@ import ast
 import dataclasses
 import pathlib
 import re
+import tokenize
 import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import Project
 
 
 @dataclasses.dataclass(frozen=True, slots=True)
@@ -34,6 +38,29 @@ _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9]+)\]\s*(?::\s*(\S.*))?")
 #: The framework's own rule id: a suppression without a justification.
 SUPPRESSION_RULE = "SUP001"
 
+#: A justified suppression that no longer suppresses any finding.
+STALE_SUPPRESSION_RULE = "SUP002"
+
+
+def _comment_tokens(
+    lines: typing.Sequence[str],
+) -> typing.List[typing.Tuple[int, str]]:
+    """(lineno, text) of every real ``#`` comment.
+
+    Tokenizing keeps marker *examples inside docstrings* (this package
+    documents its own syntax) from being treated as live suppressions.
+    Fragments that fail to tokenize fall back to raw-line scanning.
+    """
+    try:
+        readline = iter([text + "\n" for text in lines]).__next__
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return list(enumerate(lines, start=1))
+
 
 class Suppressions:
     """Inline ``# repro: allow[RULE]: why`` markers of one file.
@@ -41,14 +68,17 @@ class Suppressions:
     A marker suppresses findings of ``RULE`` on its own line.  A marker
     with no justification suppresses nothing and is itself reported as a
     :data:`SUPPRESSION_RULE` finding — silent waivers defeat the point.
+    Justified markers are kept in :attr:`markers` so the runner can audit
+    which ones actually fired (:data:`STALE_SUPPRESSION_RULE`).
     """
 
-    __slots__ = ("_by_line", "unjustified")
+    __slots__ = ("_by_line", "unjustified", "markers")
 
     def __init__(self, lines: typing.Sequence[str]) -> None:
         self._by_line: typing.Dict[int, typing.Set[str]] = {}
         self.unjustified: typing.List[typing.Tuple[int, str]] = []
-        for lineno, text in enumerate(lines, start=1):
+        self.markers: typing.List[typing.Tuple[int, str]] = []
+        for lineno, text in _comment_tokens(lines):
             match = _ALLOW_RE.search(text)
             if match is None:
                 continue
@@ -57,6 +87,7 @@ class Suppressions:
                 self.unjustified.append((lineno, rule))
                 continue
             self._by_line.setdefault(lineno, set()).add(rule)
+            self.markers.append((lineno, rule))
 
     def allows(self, rule: str, line: int) -> bool:
         return rule in self._by_line.get(line, ())
@@ -113,6 +144,24 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole-project call graph.
+
+    ``check`` (per module) defaults to nothing; ``check_project`` runs
+    once after every file is parsed, against the linked
+    :class:`repro.lint.graph.Project`.  A rule may implement both — e.g.
+    SIM001 keeps its syntactic per-module pass and adds a transitive one.
+    """
+
+    def check(self, module: ParsedModule) -> typing.Iterator[Finding]:
+        return iter(())
+
+    def check_project(
+        self, project: "Project"
+    ) -> typing.Iterator[Finding]:
+        raise NotImplementedError
+
+
 def _relpath(path: pathlib.Path) -> str:
     """Stable repo-relative display path, anchored at ``src/`` if present."""
     parts = path.resolve().parts
@@ -143,16 +192,32 @@ def collect_files(paths: typing.Sequence[pathlib.Path]) -> typing.List[pathlib.P
 def run_lint(
     paths: typing.Sequence[typing.Union[str, pathlib.Path]],
     rules: typing.Optional[typing.Sequence[Rule]] = None,
+    graph_cache: typing.Optional[typing.Union[str, pathlib.Path]] = None,
+    changed: typing.Optional[typing.Collection[str]] = None,
+    stats: typing.Optional[typing.Dict[str, int]] = None,
 ) -> typing.List[Finding]:
     """Lint ``paths`` (files or directories); returns surviving findings.
 
     Suppressed findings are dropped; unjustified suppressions surface as
-    :data:`SUPPRESSION_RULE` findings, which cannot be suppressed.
+    :data:`SUPPRESSION_RULE` findings, which cannot be suppressed.  When
+    the full rule set runs (``rules is None``), justified suppressions
+    that silenced nothing surface as :data:`STALE_SUPPRESSION_RULE`
+    findings — a waiver that outlived its finding is debt (the audit is
+    skipped under ``--select`` because unselected rules cannot fire).
+
+    ``graph_cache`` points at a JSON summary cache keyed by file-content
+    fingerprints (see :mod:`repro.lint.graph`).  ``changed`` is a set of
+    repo-relative paths: all files are still parsed (the graph needs the
+    whole project) but findings are filtered to the changed files plus
+    their reverse call-graph dependents.  ``stats``, when given, is
+    filled with the linked project's statistics.
     """
+    full_audit = rules is None
     if rules is None:
         from repro.lint.rules import ALL_RULES
         rules = [factory() for factory in ALL_RULES]
     findings: typing.List[Finding] = []
+    parsed: typing.List[ParsedModule] = []
     for path in collect_files([pathlib.Path(p) for p in paths]):
         rel = _relpath(path)
         try:
@@ -162,6 +227,7 @@ def run_lint(
                 Finding("PARSE", rel, getattr(exc, "lineno", 1) or 1, str(exc))
             )
             continue
+        parsed.append(module)
         for lineno, rule_name in module.suppressions.unjustified:
             findings.append(
                 Finding(
@@ -170,9 +236,71 @@ def run_lint(
                     f"(write `# repro: allow[{rule_name}]: <why>`)",
                 )
             )
+    # (path, line, rule) of suppressions that actually silenced a finding.
+    used: typing.Set[typing.Tuple[str, int, str]] = set()
+    for module in parsed:
         for rule in rules:
             for finding in rule.check(module):
-                if not module.suppressions.allows(finding.rule, finding.line):
+                if module.suppressions.allows(finding.rule, finding.line):
+                    used.add((module.rel, finding.line, finding.rule))
+                else:
                     findings.append(finding)
+    project = None
+    project_rules = [rule for rule in rules if isinstance(rule, ProjectRule)]
+    if project_rules or changed is not None:
+        from repro.lint.graph import build_project
+
+        project = build_project(parsed, cache_path=graph_cache)
+        if stats is not None:
+            stats.update(project.stats())
+    by_rel = {module.rel: module for module in parsed}
+    if project is not None:
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                module_or_none = by_rel.get(finding.path)
+                if module_or_none is not None and (
+                    module_or_none.suppressions.allows(
+                        finding.rule, finding.line
+                    )
+                ):
+                    used.add((finding.path, finding.line, finding.rule))
+                else:
+                    findings.append(finding)
+    if full_audit:
+        known_rules = {rule.name for rule in rules} | {
+            SUPPRESSION_RULE, STALE_SUPPRESSION_RULE, "PARSE",
+        }
+        for module in parsed:
+            for lineno, rule_name in module.suppressions.markers:
+                if rule_name not in known_rules:
+                    findings.append(
+                        Finding(
+                            STALE_SUPPRESSION_RULE, module.rel, lineno,
+                            f"suppression names unknown rule {rule_name!r} "
+                            "(typo, or the rule was removed)",
+                        )
+                    )
+                elif (module.rel, lineno, rule_name) not in used:
+                    findings.append(
+                        Finding(
+                            STALE_SUPPRESSION_RULE, module.rel, lineno,
+                            f"stale suppression: no {rule_name} finding "
+                            "fires on this line any more — delete the "
+                            "marker",
+                        )
+                    )
+    if changed is not None and project is not None:
+        module_by_rel = {
+            summary.rel: summary.module
+            for summary in project.modules.values()
+        }
+        rel_by_module = {
+            module: rel for rel, module in module_by_rel.items()
+        }
+        scoped = project.module_dependents(
+            {module_by_rel[rel] for rel in changed if rel in module_by_rel}
+        )
+        scope_rels = {rel_by_module[module] for module in scoped} | set(changed)
+        findings = [f for f in findings if f.path in scope_rels]
     findings.sort(key=lambda f: (f.path, f.line, f.rule))
     return findings

@@ -1,0 +1,42 @@
+"""DET002 — nondeterminism must not flow into run artifacts.
+
+DET001 polices nondeterminism *sources* per file; this rule polices the
+*flow*: a wall-clock read, global/unseeded RNG draw, or set-iteration
+order that reaches an artifact write (``results.jsonl``, BENCH emitter
+lines, telemetry exports) through any resolved call chain breaks
+bit-identical replay even when every individual file looks innocent.
+
+The heavy lifting lives in :mod:`repro.lint.taint`; this rule turns its
+:class:`~repro.lint.taint.TaintedWrite` results into findings anchored
+at the write site, with the witness chain and the source location in the
+message.  Note that DET001's path allowlist is intentionally ignored: a
+module allowed to *read* the clock still must not let the value reach an
+artifact.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.lint.core import Finding, ProjectRule
+
+if typing.TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import Project
+
+
+class Det002(ProjectRule):
+    name = "DET002"
+    description = "no nondeterminism source taints an artifact write"
+
+    def check_project(self, project: "Project") -> typing.Iterator[Finding]:
+        from repro.lint.taint import analyze
+
+        for tainted in analyze(project):
+            source_rel = project.rel_of(tainted.source_fid)
+            yield Finding(
+                self.name, tainted.rel, tainted.line,
+                f"artifact write {tainted.write.detail} is tainted by "
+                f"{tainted.source.detail} at "
+                f"{source_rel}:{tainted.source.line} "
+                f"(flow: {tainted.witness()})",
+            )

@@ -1,0 +1,210 @@
+"""Interprocedural nondeterminism taint for DET002.
+
+DET001 flags nondeterminism *sources* syntactically, file by file.  What
+actually breaks bit-identical replay is a source whose value **flows into
+an artifact** — ``results.jsonl``, a BENCH emitter line, a telemetry
+export.  This module tracks that flow over the project call graph:
+
+- **Sources** taint the function containing them: wall-clock reads,
+  global/unseeded RNG, set-iteration ordering (the ``FACT_DET_SOURCE``
+  facts collected by :mod:`repro.lint.graph`).
+- **Propagation** is function-level and flows two ways over *resolved*
+  edges only (``call``/``ref``; heuristic by-name edges are excluded — a
+  taint verdict built on a guessed edge would be noise).  Upward,
+  callee to caller, transitively: if ``f`` calls a tainted ``g``, the
+  return value / side effects reach ``f`` (covers returns, and closures:
+  a nested tainted helper is a ``ref`` edge, so the capturer is
+  tainted).  Downward, exactly one level: a call *from* a tainted
+  function passes its arguments along, so the direct callee is
+  argument-tainted (``writer(clock())``) — but the flow stops there,
+  because transitive downward closure would drown every shared utility
+  in false positives.
+- **Sanitizers** stop propagation: a function that constructs a *seeded*
+  generator (``numpy.random.Generator(PCG64(seed))``,
+  ``default_rng(seed)``, ``random.Random(seed)``) re-derives its
+  randomness from the run configuration, so taint arriving from its
+  callees is laundered into reproducible values.  A sanitizer with its
+  own source stays tainted — seeding one RNG does not excuse reading the
+  wall clock.
+- **Sinks** are artifact writes (``.write``/``.writelines``/
+  ``.write_text``/``json.dump``/``open(..., "w")``) inside the artifact
+  pipeline (``repro/sweep/``, ``repro/telemetry/``, ``benchmarks/``).
+
+A finding is a sink inside a tainted function, reported with the witness
+chain sink → ... → source so the fix target (seed it, drop it, or move
+the read out of the artifact path) is visible from the message.
+
+DET001's path allowlist is deliberately **not** honored here: a module
+may be allowed to *read* the wall clock (progress display, scheduling
+heuristics) yet still must not let it reach an artifact.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import typing
+
+from repro.lint.graph import (
+    FACT_ARTIFACT_WRITE,
+    FACT_DET_SOURCE,
+    FACT_RNG_SANITIZER,
+    RESOLVED_KINDS,
+    Fact,
+    Project,
+)
+
+#: Modules whose writes produce run artifacts (the replay-diffed files).
+SINK_PATH_SUFFIXES = ("repro/sweep/", "repro/telemetry/", "benchmarks/")
+
+
+def rel_matches(rel: str, suffixes: typing.Sequence[str]) -> bool:
+    """Same matching semantics as ``ParsedModule.in_package``."""
+    for suffix in suffixes:
+        if suffix.endswith("/"):
+            if f"/{suffix}" in f"/{rel}":
+                return True
+        elif rel.endswith(suffix):
+            return True
+    return False
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class TaintedWrite:
+    """One artifact write reachable (data-flow-wise) from a source."""
+
+    rel: str
+    line: int
+    sink_fid: str
+    write: Fact
+    source_fid: str
+    source: Fact
+    chain: typing.Tuple[str, ...]  # sink fid -> ... -> source fid
+
+    def witness(self) -> str:
+        """`a -> b -> c` chain using short function names."""
+        return " -> ".join(fid.split(":", 1)[1] for fid in self.chain)
+
+
+def is_sanitizer(project: Project, fid: str) -> bool:
+    """True when ``fid`` seeds its own RNG and has no source of its own."""
+    func = project.functions[fid]
+    return func.has_fact(FACT_RNG_SANITIZER) and not func.has_fact(
+        FACT_DET_SOURCE
+    )
+
+
+def tainted_functions(
+    project: Project,
+) -> typing.Dict[str, typing.Tuple[typing.Optional[str], typing.Optional[Fact]]]:
+    """Map of tainted fid -> (tainting callee fid, own source fact).
+
+    Exactly one of the tuple's fields is set: ``(None, fact)`` for a
+    function with its own source, ``(callee, None)`` for taint that
+    arrived through a call.  The map doubles as the parent-pointer forest
+    for witness chains.
+    """
+    origin: typing.Dict[
+        str, typing.Tuple[typing.Optional[str], typing.Optional[Fact]]
+    ] = {}
+    worklist: typing.Deque[str] = collections.deque()
+    for func in project.functions.values():
+        sources = func.facts_of(FACT_DET_SOURCE)
+        if sources:
+            origin[func.fid] = (None, sources[0])
+            worklist.append(func.fid)
+    while worklist:
+        fid = worklist.popleft()
+        for edge in project.in_edges(fid, kinds=RESOLVED_KINDS):
+            caller = edge.caller
+            if caller in origin or caller not in project.functions:
+                continue
+            if is_sanitizer(project, caller):
+                continue
+            origin[caller] = (fid, None)
+            worklist.append(caller)
+    return origin
+
+
+def witness_chain(
+    origin: typing.Mapping[
+        str, typing.Tuple[typing.Optional[str], typing.Optional[Fact]]
+    ],
+    fid: str,
+) -> typing.Tuple[typing.Tuple[str, ...], str, Fact]:
+    """(sink -> ... -> source chain, source fid, source fact)."""
+    chain = [fid]
+    cursor = fid
+    while True:
+        callee, fact = origin[cursor]
+        if callee is None:
+            assert fact is not None
+            return tuple(chain), cursor, fact
+        chain.append(callee)
+        cursor = callee
+
+
+def argument_tainted(
+    project: Project,
+    origin: typing.Mapping[
+        str, typing.Tuple[typing.Optional[str], typing.Optional[Fact]]
+    ],
+) -> typing.Dict[str, str]:
+    """One-level downward step: callee fid -> tainted caller fid.
+
+    A ``call`` edge out of a tainted function hands its arguments to the
+    callee, so ``writer(clock())`` flags ``writer``'s sinks even though
+    ``writer`` never calls a source itself.  ``ref`` edges (decorators,
+    ``functools.partial``, closures captured without being invoked) pass
+    no values at the edge, and the step is deliberately not transitive.
+    """
+    arg_origin: typing.Dict[str, str] = {}
+    call_kind = frozenset({"call"})
+    for fid in origin:
+        for edge in project.out_edges(fid, kinds=call_kind):
+            callee = edge.callee
+            if callee in origin or callee in arg_origin:
+                continue
+            if callee not in project.functions:
+                continue
+            if is_sanitizer(project, callee):
+                continue
+            arg_origin[callee] = fid
+    return arg_origin
+
+
+def analyze(project: Project) -> typing.List[TaintedWrite]:
+    """Every artifact write inside a tainted sink-pipeline function."""
+    origin = tainted_functions(project)
+    arg_origin = argument_tainted(project, origin)
+    results: typing.List[TaintedWrite] = []
+    for fid in list(origin) + list(arg_origin):
+        func = project.functions.get(fid)
+        if func is None:
+            continue
+        writes = func.facts_of(FACT_ARTIFACT_WRITE)
+        if not writes:
+            continue
+        rel = project.rel_of(fid)
+        if not rel_matches(rel, SINK_PATH_SUFFIXES):
+            continue
+        if fid in origin:
+            chain, source_fid, source = witness_chain(origin, fid)
+        else:
+            caller = arg_origin[fid]
+            tail, source_fid, source = witness_chain(origin, caller)
+            chain = (fid,) + tail
+        for write in writes:
+            results.append(
+                TaintedWrite(
+                    rel=rel,
+                    line=write.line,
+                    sink_fid=fid,
+                    write=write,
+                    source_fid=source_fid,
+                    source=source,
+                    chain=chain,
+                )
+            )
+    results.sort(key=lambda t: (t.rel, t.line))
+    return results

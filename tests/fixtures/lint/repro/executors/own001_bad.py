@@ -1,0 +1,36 @@
+"""Fixture: shard-state mutation outside any ownership epoch (OWN001).
+
+``hot_path_steal`` moves a shard between stores with no protocol
+tracker or sanitizer hook anywhere on its (absent) caller chain;
+``guarded_steal`` performs the same mutation under a tracker and stays
+clean, as does constructor-time population.
+"""
+
+from repro.protocol import SHARD_REASSIGN
+
+
+class ShardStore:
+    __slots__ = ("data",)
+
+    def __init__(self):
+        self.data = {}
+
+
+class Rebalancer:
+    __slots__ = ("stores",)
+
+    def __init__(self, stores):
+        self.stores = stores
+
+    def hot_path_steal(self, shard, src, dst):
+        self.stores[dst].add(shard)
+        self.stores[src].remove(shard)
+
+    def guarded_steal(self, shard, src, dst):
+        proto = SHARD_REASSIGN.tracker()
+        try:
+            self.stores[dst].add(shard)
+            self.stores[src].remove(shard)
+            proto.advance("pause")
+        finally:
+            proto.close("aborted")

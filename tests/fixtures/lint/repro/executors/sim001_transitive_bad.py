@@ -1,0 +1,34 @@
+"""Fixture: blocking work hidden one call below a delivery callback.
+
+Every ``_on_*`` body here is syntactically clean — the per-module SIM001
+pass sees nothing.  The violations live one resolved call-graph edge
+down, where only the transitive pass can reach them.
+"""
+
+
+class _Delivery:
+    __slots__ = ("env", "queue")
+
+    def __init__(self, env, queue):
+        self.env = env
+        self.queue = queue
+
+    def _on_delivered(self, event):
+        self._refill()
+        self._drain()
+
+    def _on_flush(self, event):
+        # Calling a generator function like a plain function: the body
+        # never runs.
+        self._pump()
+
+    def _refill(self):
+        # Spawns a Process frame from inside callback dispatch.
+        self.env.process(self._pump())
+
+    def _drain(self):
+        # Discards the blocking event — the continuation is lost.
+        self.queue.get()
+
+    def _pump(self):
+        yield self.env.timeout(1.0)

@@ -1,0 +1,45 @@
+"""Fixture: wall-clock values flowing into artifact writes (DET002).
+
+The inline DET001 waiver below is deliberate: this file is *allowed* to
+read the clock (a measurement side channel), but the value still must
+not reach an artifact.  DET002 ignores DET001's waivers, so the three
+tainted writes are flagged while the seeded report below stays clean.
+"""
+
+import json
+import time
+
+import numpy as np
+
+
+def read_clock():
+    return time.monotonic()  # repro: allow[DET001]: measurement side channel
+
+
+def through_return():
+    # Taint propagates callee -> caller: returning a tainted value
+    # taints this function too.
+    return read_clock() * 2.0
+
+
+def tainted_writer(path):
+    payload = {"elapsed": through_return()}
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def write_samples(handle, samples):
+    # Clean in isolation — tainted only through the argument below.
+    handle.writelines(f"{sample}\n" for sample in samples)
+
+
+def argument_flow(handle):
+    write_samples(handle, [through_return()])
+
+
+def seeded_report(path, seed):
+    # Sanitizer: a seeded generator re-derives randomness from the run
+    # configuration, laundering taint arriving from callees.
+    rng = np.random.default_rng(seed)
+    payload = {"draw": float(rng.random()), "scale": through_return()}
+    path.write_text(json.dumps(payload))

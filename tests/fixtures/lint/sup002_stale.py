@@ -1,0 +1,7 @@
+"""Fixture: justified suppressions that silence nothing (SUP002)."""
+
+VALUE = 42  # repro: allow[DET001]: the clock read here was refactored away
+
+
+def helper():  # repro: allow[NOPE123]: names a rule that never existed
+    return VALUE

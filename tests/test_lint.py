@@ -95,6 +95,51 @@ class TestFixturesTripRules:
         assert rules_of(findings) == {"SIM001"}
         assert len(findings) == 3
 
+    def test_sim001_transitive_fixture(self):
+        # Every callback body is syntactically clean; all three
+        # violations sit one resolved call-graph edge down.
+        findings = lint_fixture("repro/executors/sim001_transitive_bad.py")
+        assert rules_of(findings) == {"SIM001"}
+        assert len(findings) == 3
+        messages = " | ".join(f.message for f in findings)
+        assert "call chain" in messages
+        assert "discards the result" in messages
+
+    def test_det002_fixture(self):
+        # The DET001 waiver on the clock read stays honored (and used, so
+        # SUP002 is quiet) — but the value still must not reach a write.
+        findings = lint_fixture("repro/sweep/det002_bad.py")
+        assert rules_of(findings) == {"DET002"}
+        assert len(findings) == 3
+        messages = " | ".join(f.message for f in findings)
+        assert "wall clock" in messages
+        assert "flow:" in messages
+        # The seeded_report write is sanitized and must stay clean.
+        assert not any(f.line > 40 for f in findings)
+
+    def test_own001_fixture(self):
+        findings = lint_fixture("repro/executors/own001_bad.py")
+        assert rules_of(findings) == {"OWN001"}
+        # hot_path_steal's two mutations; guarded_steal and the
+        # constructors stay clean.
+        assert len(findings) == 2
+        assert all("ownership epoch" in f.message for f in findings)
+
+    def test_sup002_fixture(self):
+        findings = lint_fixture("sup002_stale.py")
+        assert rules_of(findings) == {"SUP002"}
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "stale suppression" in messages
+        assert "unknown rule" in messages
+
+    def test_sup002_audit_skipped_under_select(self):
+        # Under --select, unselected rules cannot fire, so the staleness
+        # audit would be pure noise.
+        det = next(r for r in ALL_RULES if r.name == "DET001")
+        findings = run_lint([str(FIXTURES / "sup002_stale.py")], rules=[det()])
+        assert findings == []
+
     def test_findings_carry_file_and_line(self):
         findings = lint_fixture("det001_bad.py")
         for finding in findings:

@@ -1,0 +1,234 @@
+"""Tests for the protocol model checker (``repro lint --model``).
+
+The five checked-in tables must be proven clean; seeded mutations of
+them must be rejected with a counterexample trace; and the dead-
+transition check must tie table edges to live runtime call sites.
+"""
+
+import ast
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.lint.graph import build_project
+from repro.lint.model import (
+    EvidenceSite,
+    check_protocols,
+    check_table,
+    collect_evidence,
+    live_evidence_pairs,
+    table_lines,
+)
+from repro.protocol import SHARD_REASSIGN, TABLES, ProtocolTable
+
+SRC = pathlib.Path(__file__).parent.parent / "src" / "repro"
+
+
+def fs(*states):
+    return frozenset(states)
+
+
+def kinds_of(violations):
+    return {v.kind for v in violations}
+
+
+def all_edges(table):
+    return {
+        (src, dst)
+        for src, dsts in table.transitions.items()
+        for dst in dsts
+    }
+
+
+class _Src:
+    def __init__(self, rel, source):
+        self.rel = rel
+        self.source = textwrap.dedent(source)
+        self.tree = ast.parse(self.source)
+
+
+class TestRealTables:
+    @pytest.mark.parametrize("name", sorted(TABLES))
+    def test_table_is_proven_clean(self, name):
+        assert check_table(TABLES[name]) == []
+
+    def test_whole_tree_evidence_covers_every_edge(self):
+        from repro.lint.core import ParsedModule, _relpath, collect_files
+
+        modules = [
+            ParsedModule(path, _relpath(path))
+            for path in collect_files([SRC])
+        ]
+        project = build_project(modules)
+        assert check_protocols(modules, project=project) == []
+
+    def test_table_lines_locates_every_table(self):
+        path = SRC / "protocol.py"
+        lines = table_lines("src/repro/protocol.py", ast.parse(path.read_text()))
+        assert set(lines) == set(TABLES)
+        assert all(line > 0 for line in lines.values())
+
+
+class TestMutatedTables:
+    def test_deadlock_state_is_rejected_with_trace(self):
+        bad = ProtocolTable(
+            "bad", "start",
+            {"start": fs("wedge"), "wedge": frozenset()},
+            fs("done"),
+        )
+        violations = check_table(bad)
+        dead = [v for v in violations if v.kind == "deadlock"]
+        assert len(dead) == 1
+        assert "wedge" in dead[0].message
+        assert dead[0].trace[0] == "start"
+        assert "wedge" in dead[0].trace[-1]
+
+    def test_livelock_cycle_is_rejected(self):
+        bad = ProtocolTable(
+            "bad", "start",
+            {"start": fs("loop"), "loop": fs("loop")},
+            fs("done"),
+        )
+        violations = check_table(bad)
+        live = [v for v in violations if v.kind == "livelock"]
+        assert any("loop" in v.message for v in live)
+        assert all(v.trace for v in live)
+        # The fault product wedges the same way: its counterexamples
+        # carry the inject/heal event path.
+        assert "fault_livelock" in kinds_of(violations)
+
+    def test_unreachable_island_is_rejected(self):
+        bad = ProtocolTable(
+            "bad", "start",
+            {"start": fs("mid"), "mid": fs("done"), "limbo": fs("mid")},
+            fs("done"),
+        )
+        violations = check_table(bad)
+        assert kinds_of(violations) == {
+            "unreachable_state", "unreachable_transition",
+        }
+        assert any("limbo" in v.message for v in violations)
+
+    def test_terminal_free_cycle_fails_crash_safety(self):
+        bad = ProtocolTable(
+            "bad", "a", {"a": fs("b"), "b": fs("a")}, frozenset()
+        )
+        violations = check_table(bad)
+        assert "crash_safety" in kinds_of(violations)
+        assert "livelock" in kinds_of(violations)
+
+    def test_violation_format_includes_trace(self):
+        bad = ProtocolTable(
+            "bad", "start",
+            {"start": fs("wedge"), "wedge": frozenset()},
+            fs("done"),
+        )
+        dead = [v for v in check_table(bad) if v.kind == "deadlock"][0]
+        text = dead.format()
+        assert "[bad] deadlock" in text
+        assert "trace:" in text
+
+
+class TestDeadTransitions:
+    def test_no_evidence_means_every_edge_is_dead(self):
+        violations = check_table(SHARD_REASSIGN, evidence=set())
+        dead = [v for v in violations if v.kind == "dead_transition"]
+        assert len(dead) == len(all_edges(SHARD_REASSIGN))
+
+    def test_full_evidence_clears_the_table(self):
+        evidence = all_edges(SHARD_REASSIGN)
+        assert check_table(SHARD_REASSIGN, evidence=evidence) == []
+
+    def test_one_missing_edge_is_named(self):
+        evidence = all_edges(SHARD_REASSIGN) - {("pause", "drain")}
+        violations = check_table(SHARD_REASSIGN, evidence=evidence)
+        assert len(violations) == 1
+        assert "'pause' -> 'drain'" in violations[0].message
+
+
+class TestEvidence:
+    TRACKER_SRC = """
+        from repro.protocol import RC_SYNC
+
+        def run(bad):
+            proto = RC_SYNC.tracker()
+            try:
+                proto.advance("pause")
+                proto.advance("drain")
+                if bad:
+                    proto.close("aborted")
+                    return
+                proto.advance("migration")
+                proto.advance("routing_update")
+                proto.advance("done")
+            finally:
+                proto.close("aborted")
+    """
+
+    def test_sequence_is_source_ordered(self):
+        sites = collect_evidence([_Src("src/repro/x.py", self.TRACKER_SRC)])
+        assert len(sites) == 1
+        site = sites[0]
+        assert site.table == "rc_sync"
+        assert site.sequence == (
+            "start", "pause", "drain", "aborted", "migration",
+            "routing_update", "done", "aborted",
+        )
+
+    def test_pairs_skip_the_interleaved_close(self):
+        # drain -> migration is witnessed even though a close("aborted")
+        # branch sits between them in source order.
+        sites = collect_evidence([_Src("src/repro/x.py", self.TRACKER_SRC)])
+        pairs = sites[0].pairs(TABLES["rc_sync"])
+        assert ("drain", "migration") in pairs
+        assert pairs >= {
+            ("start", "pause"), ("pause", "drain"),
+            ("migration", "routing_update"), ("routing_update", "done"),
+        }
+
+    def test_dead_call_site_contributes_no_evidence(self):
+        src = _Src("src/repro/x.py", self.TRACKER_SRC)
+        sites = collect_evidence([src])
+        # Nothing calls run(): with a project, its evidence is discarded.
+        project = build_project([src])
+        assert live_evidence_pairs(sites, project, TABLES)["rc_sync"] == set()
+        # Without call-graph liveness, the same site counts.
+        assert live_evidence_pairs(sites, None, TABLES)["rc_sync"] != set()
+
+    def test_live_call_site_contributes_evidence(self):
+        live_src = self.TRACKER_SRC + (
+            "\n        def driver():\n            return run(False)\n"
+        )
+        src = _Src("src/repro/x.py", live_src)
+        sites = collect_evidence([src])
+        project = build_project([src])
+        assert live_evidence_pairs(sites, project, TABLES)["rc_sync"] != set()
+
+    def test_fid_points_into_the_graph(self):
+        site = EvidenceSite(
+            rel="src/repro/executors/hybrid.py",
+            qualname="HybridController.split",
+            line=1, table="rc_sync", sequence=("start",),
+        )
+        assert site.fid == "repro.executors.hybrid:HybridController.split"
+
+
+class TestCli:
+    def test_model_gate_passes_on_the_tree(self, capsys):
+        assert main(["lint", "--model"]) == 0
+        out = capsys.readouterr().out
+        for name in TABLES:
+            assert f"protocol {name}:" in out
+        assert "every transition exercised" in out
+
+    def test_model_json_output_is_empty_on_success(self, capsys):
+        import json
+
+        assert main(["lint", "--model", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_graph_report_runs(self, capsys):
+        assert main(["lint", "--graph-report", "src/repro/lint"]) == 0
+        assert "unresolved" in capsys.readouterr().out
